@@ -1,0 +1,172 @@
+//! The `W5IMG` toy raster format and the competing crop modules.
+//!
+//! Real image codecs are irrelevant to the architecture; what matters is
+//! that photo bytes are opaque application data flowing through labeled
+//! storage, and that two *competing developers* can ship interchangeable
+//! `crop` modules the user picks between (paper §2). `W5IMG` is a
+//! grayscale raster: the header `W5IMG <width> <height>\n` followed by
+//! `width × height` pixel bytes.
+
+use bytes::Bytes;
+
+/// A decoded image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major grayscale pixels (`width * height` bytes).
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// A solid-fill image.
+    pub fn filled(width: usize, height: usize, value: u8) -> Image {
+        Image { width, height, pixels: vec![value; width * height] }
+    }
+
+    /// A gradient test card (pixel = x + y, wrapping) so crops are
+    /// position-sensitive and the two modules produce different output.
+    pub fn test_card(width: usize, height: usize) -> Image {
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                pixels.push(((x + y) % 256) as u8);
+            }
+        }
+        Image { width, height, pixels }
+    }
+
+    /// Pixel accessor.
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Encode to `W5IMG` bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut out = format!("W5IMG {} {}\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        Bytes::from(out)
+    }
+
+    /// Decode from `W5IMG` bytes.
+    pub fn decode(data: &[u8]) -> Result<Image, String> {
+        let nl = data
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or("missing header newline")?;
+        let header = std::str::from_utf8(&data[..nl]).map_err(|_| "bad header encoding")?;
+        let mut parts = header.split(' ');
+        if parts.next() != Some("W5IMG") {
+            return Err("bad magic".to_string());
+        }
+        let width: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or("bad width")?;
+        let height: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or("bad height")?;
+        if width == 0 || height == 0 || width > 8192 || height > 8192 {
+            return Err("unreasonable dimensions".to_string());
+        }
+        let body = &data[nl + 1..];
+        if body.len() != width * height {
+            return Err(format!("expected {} pixels, got {}", width * height, body.len()));
+        }
+        Ok(Image { width, height, pixels: body.to_vec() })
+    }
+
+    /// Extract a sub-rectangle. Caller guarantees bounds.
+    pub fn crop_rect(&self, x0: usize, y0: usize, w: usize, h: usize) -> Image {
+        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        let mut pixels = Vec::with_capacity(w * h);
+        for y in y0..y0 + h {
+            pixels.extend_from_slice(&self.pixels[y * self.width + x0..y * self.width + x0 + w]);
+        }
+        Image { width: w, height: h, pixels }
+    }
+}
+
+/// A pluggable crop implementation — the module developers compete on.
+pub trait CropModule: Send + Sync {
+    /// The developer offering this module.
+    fn developer(&self) -> &'static str;
+    /// Crop `img` to `w × h` (clamped to the image bounds).
+    fn crop(&self, img: &Image, w: usize, h: usize) -> Image;
+}
+
+/// Developer A's cropper: anchors at the top-left corner.
+pub struct TopLeftCrop;
+
+impl CropModule for TopLeftCrop {
+    fn developer(&self) -> &'static str {
+        "devA"
+    }
+    fn crop(&self, img: &Image, w: usize, h: usize) -> Image {
+        let w = w.clamp(1, img.width);
+        let h = h.clamp(1, img.height);
+        img.crop_rect(0, 0, w, h)
+    }
+}
+
+/// Developer B's cropper: keeps the center of the frame.
+pub struct CenteredCrop;
+
+impl CropModule for CenteredCrop {
+    fn developer(&self) -> &'static str {
+        "devB"
+    }
+    fn crop(&self, img: &Image, w: usize, h: usize) -> Image {
+        let w = w.clamp(1, img.width);
+        let h = h.clamp(1, img.height);
+        let x0 = (img.width - w) / 2;
+        let y0 = (img.height - h) / 2;
+        img.crop_rect(x0, y0, w, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let img = Image::test_card(7, 5);
+        let bytes = img.encode();
+        assert_eq!(Image::decode(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Image::decode(b"").is_err());
+        assert!(Image::decode(b"JPEG\n").is_err());
+        assert!(Image::decode(b"W5IMG 2 2\nxyz").is_err(), "wrong pixel count");
+        assert!(Image::decode(b"W5IMG 0 5\n").is_err());
+        assert!(Image::decode(b"W5IMG 99999 99999\n").is_err());
+    }
+
+    #[test]
+    fn croppers_differ_observably() {
+        let img = Image::test_card(10, 10);
+        let a = TopLeftCrop.crop(&img, 4, 4);
+        let b = CenteredCrop.crop(&img, 4, 4);
+        assert_eq!(a.width, 4);
+        assert_eq!(b.width, 4);
+        // Top-left of the test card is 0; the center is not.
+        assert_eq!(a.get(0, 0), 0);
+        assert_eq!(b.get(0, 0), 6, "centered crop starts at (3,3): 3+3=6");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crop_clamps_to_bounds() {
+        let img = Image::test_card(4, 4);
+        let a = TopLeftCrop.crop(&img, 100, 100);
+        assert_eq!((a.width, a.height), (4, 4));
+        let b = CenteredCrop.crop(&img, 0, 0);
+        assert_eq!((b.width, b.height), (1, 1));
+    }
+}

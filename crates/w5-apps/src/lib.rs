@@ -1,0 +1,82 @@
+//! # w5-apps — the applications of the W5 paper
+//!
+//! Developer-written code that runs *on* the platform (paper §2), exercising
+//! every property the architecture promises:
+//!
+//! * [`photos`] — photo sharing with a substitutable `crop` module slot:
+//!   "use developer A's photo cropping module and developer B's labeling
+//!   module" (§2). Includes the toy `W5IMG` raster format in [`image`].
+//! * [`blog`] — blogging over the labeled SQL store.
+//! * [`social`] — profiles, a friends feed, and the "chameleon" profile
+//!   that hides chosen interests from chosen viewers (§2 Examples).
+//! * [`recommender`] — "an application that sends him daily e-mail with the
+//!   5 most relevant photos and blog entries posted by his friends" (§2),
+//!   computed entirely inside the perimeter.
+//! * [`dating`] — the online-dating app with a user-uploaded compatibility
+//!   metric (§2).
+//! * [`malice`] — the attacks of §3: steal, vandalize, delete,
+//!   misrepresent, exfiltrate via confederate, leak via crash, and the SQL
+//!   covert channel. All of them run — and all of them are defeated by the
+//!   platform, which experiment E2 tabulates.
+//!
+//! [`install_all`] publishes every manifest and installs every
+//! implementation on a platform instance.
+
+pub mod blog;
+pub mod dating;
+pub mod image;
+pub mod malice;
+pub mod photos;
+pub mod recommender;
+pub mod social;
+
+use std::sync::Arc;
+use w5_platform::Platform;
+
+/// Publish manifests and install implementations for the full example
+/// suite (honest apps and the malice suite).
+pub fn install_all(platform: &Arc<Platform>) {
+    photos::install(platform);
+    blog::install(platform);
+    social::install(platform);
+    recommender::install(platform);
+    dating::install(platform);
+    malice::install(platform);
+}
+
+/// Count the source lines of a module file (the audit-surface metric of
+/// experiment E5).
+#[macro_export]
+macro_rules! source_line_count {
+    ($file:expr) => {
+        include_str!($file).lines().count()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_all_registers_everything() {
+        let p = Platform::new_default("t");
+        install_all(&p);
+        let keys: Vec<String> = p.apps.list().iter().map(|m| m.key()).collect();
+        for expected in [
+            "devA/photos",
+            "devB/blog",
+            "devC/social",
+            "devD/recommender",
+            "devD/dating",
+            "mal/exfiltrator",
+            "mal/vandal",
+            "mal/deleter",
+            "mal/misrepresenter",
+            "mal/crashleaker",
+            "mal/covert",
+        ] {
+            assert!(keys.contains(&expected.to_string()), "missing {expected}: {keys:?}");
+            assert!(p.app_impl(expected).is_some(), "impl missing for {expected}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # w5-baseline — the web as it is
+//!
+//! The models the paper positions W5 against, built as executable
+//! comparators for the experiments:
+//!
+//! * [`silo`] — Figure 1: each application is its own site with its own
+//!   accounts and its own copy of user data. E1 measures the data
+//!   duplication and per-app onboarding cost this causes.
+//! * [`thirdparty`] — the Facebook-style model (§4): the platform hosts
+//!   the data but third-party application code runs on *external* servers,
+//!   so using an app reveals the user's data to its developer.
+//! * [`mashup`] — the §4 address-book/map example in three variants:
+//!   status quo (everything leaks to the map service), MashupOS (names
+//!   hidden, addresses still leak), and W5 (server-side composition, no
+//!   third-party sees anything).
+//! * [`no_ifc_platform`] — our own platform with enforcement disabled:
+//!   identical code paths minus the DIFC tax, the control arm of E4.
+
+pub mod mashup;
+pub mod silo;
+pub mod thirdparty;
+
+use std::sync::Arc;
+use w5_platform::{Platform, PlatformConfig};
+
+/// A platform instance with information flow control switched off — the
+/// "conventional shared hosting" control arm of the overhead experiments.
+pub fn no_ifc_platform(name: &str) -> Arc<Platform> {
+    Platform::new(
+        name,
+        PlatformConfig {
+            enforce_ifc: false,
+            sanitize_html: false,
+            app_limits: w5_kernel::ResourceLimits::unlimited(),
+            query_cost: w5_store::QueryCost::unlimited(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ifc_platform_disables_enforcement() {
+        let p = no_ifc_platform("control");
+        assert!(!p.config.enforce_ifc);
+        assert!(!p.config.sanitize_html);
+    }
+}

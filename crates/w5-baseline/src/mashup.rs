@@ -1,0 +1,176 @@
+//! The §4 mashup example, in three security postures.
+//!
+//! "Consider a mashup that combines a page of a private address book from
+//! MyYahoo with a map from Google. Under the status quo, such a mashup
+//! would reveal the page of the address book (both names and addresses)
+//! to Google. The recent MashupOS proposal can improve security in this
+//! example, hiding names from Google. However, the application still uses
+//! the Google API to place markers on the map, and therefore cannot stop
+//! the transmission of the addresses back to Google's servers. The same
+//! application on W5 could generate the annotated map on the server side,
+//! disallowing export of the address data to the map developers."
+
+use parking_lot::RwLock;
+
+/// An address-book entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Contact {
+    /// Person's name (private).
+    pub name: String,
+    /// Street address (private).
+    pub address: String,
+}
+
+/// The external map service; records everything sent to its API.
+#[derive(Default)]
+pub struct MapService {
+    received: RwLock<Vec<String>>,
+}
+
+impl MapService {
+    /// A fresh service.
+    pub fn new() -> MapService {
+        MapService::default()
+    }
+
+    /// The marker-placement API: geocode an address, return a marker id.
+    pub fn place_marker(&self, query: &str) -> usize {
+        let mut r = self.received.write();
+        r.push(query.to_string());
+        r.len()
+    }
+
+    /// Everything this service's operator has learned.
+    pub fn received(&self) -> Vec<String> {
+        self.received.read().clone()
+    }
+
+    /// Static map tiles (no user data involved).
+    pub fn base_tiles(&self) -> &'static str {
+        "<tiles/>"
+    }
+}
+
+/// Which posture the mashup runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MashupModel {
+    /// Status quo: names + addresses go to the service.
+    StatusQuo,
+    /// MashupOS: names are isolated client-side; addresses still go.
+    MashupOs,
+    /// W5: the map is composed server-side inside the perimeter; nothing
+    /// reaches the service but a tile request.
+    W5,
+}
+
+/// Render the annotated map under a given model. Returns the HTML; the
+/// privacy outcome is read off `service.received()`.
+pub fn render_map(model: MashupModel, contacts: &[Contact], service: &MapService) -> String {
+    match model {
+        MashupModel::StatusQuo => {
+            let mut html = String::from("<map>");
+            for c in contacts {
+                // The mashup page passes the full entry to the API.
+                let id = service.place_marker(&format!("{} @ {}", c.name, c.address));
+                html.push_str(&format!("<marker id='{id}'>{}</marker>", c.name));
+            }
+            html.push_str("</map>");
+            html
+        }
+        MashupModel::MashupOs => {
+            let mut html = String::from("<map>");
+            for c in contacts {
+                // Isolation hides the name, but geocoding still needs the
+                // address at the service.
+                let id = service.place_marker(&c.address);
+                html.push_str(&format!("<marker id='{id}'>{}</marker>", c.name));
+            }
+            html.push_str("</map>");
+            html
+        }
+        MashupModel::W5 => {
+            // Server-side composition inside the perimeter: fetch only the
+            // public base tiles, place markers locally.
+            let tiles = service.base_tiles();
+            let mut html = format!("<map>{tiles}");
+            for (i, c) in contacts.iter().enumerate() {
+                html.push_str(&format!(
+                    "<marker id='{}' pos='{}'>{}</marker>",
+                    i + 1,
+                    local_geocode(&c.address),
+                    c.name
+                ));
+            }
+            html.push_str("</map>");
+            html
+        }
+    }
+}
+
+/// A deterministic in-perimeter geocoder stand-in.
+fn local_geocode(address: &str) -> String {
+    let h: u32 = address.bytes().fold(0u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
+    format!("{},{}", h % 180, h % 90)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contacts() -> Vec<Contact> {
+        vec![
+            Contact { name: "Alice".into(), address: "1 Main St".into() },
+            Contact { name: "Bob".into(), address: "2 Oak Ave".into() },
+        ]
+    }
+
+    #[test]
+    fn status_quo_leaks_names_and_addresses() {
+        let svc = MapService::new();
+        let html = render_map(MashupModel::StatusQuo, &contacts(), &svc);
+        assert!(html.contains("Alice"));
+        let got = svc.received();
+        assert_eq!(got.len(), 2);
+        assert!(got[0].contains("Alice") && got[0].contains("1 Main St"));
+    }
+
+    #[test]
+    fn mashupos_hides_names_but_leaks_addresses() {
+        let svc = MapService::new();
+        let _ = render_map(MashupModel::MashupOs, &contacts(), &svc);
+        let got = svc.received();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|q| !q.contains("Alice") && !q.contains("Bob")));
+        assert!(got[0].contains("1 Main St"), "addresses still leak");
+    }
+
+    #[test]
+    fn w5_leaks_nothing() {
+        let svc = MapService::new();
+        let html = render_map(MashupModel::W5, &contacts(), &svc);
+        assert!(svc.received().is_empty(), "nothing reaches the map service");
+        // And the map is still fully annotated.
+        assert!(html.contains("Alice") && html.contains("Bob"));
+        assert!(html.contains("pos="));
+    }
+
+    #[test]
+    fn leak_counts_ordered_by_model() {
+        // status quo ≥ mashupos > w5, as the paper argues.
+        let c = contacts();
+        let count = |m| {
+            let svc = MapService::new();
+            let _ = render_map(m, &c, &svc);
+            svc.received()
+                .iter()
+                .map(|s| s.len())
+                .sum::<usize>()
+        };
+        let sq = count(MashupModel::StatusQuo);
+        let mo = count(MashupModel::MashupOs);
+        let w5 = count(MashupModel::W5);
+        assert!(sq > mo, "{sq} {mo}");
+        assert!(mo > w5);
+        assert_eq!(w5, 0);
+    }
+}

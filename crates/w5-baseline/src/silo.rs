@@ -1,0 +1,215 @@
+//! The siloed web of Figure 1: one site per application, data bound to
+//! the application.
+//!
+//! Users must create an account at every site and re-upload their data at
+//! every site ("type in the same romantic, music, and food preferences to
+//! half a dozen social networking sites", §1). Sites may expose narrow
+//! APIs for specific keys; everything else is locked in.
+//!
+//! The model counts the operations a user performs, so E1 can compare the
+//! cost of adopting the Nth application here versus on W5 (where it is
+//! one enrollment checkbox).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Operation counters per user (the E1 metric).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UserEffort {
+    /// Accounts created.
+    pub registrations: usize,
+    /// Data items uploaded (including re-uploads of the same item).
+    pub uploads: usize,
+}
+
+/// One application site with its own accounts and storage.
+#[derive(Default)]
+struct Site {
+    /// username → password.
+    accounts: HashMap<String, String>,
+    /// (username, key) → value.
+    data: HashMap<(String, String), String>,
+    /// Keys exposed through the site's narrow public API.
+    api_exposed: Vec<String>,
+}
+
+/// Errors in the siloed world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SiloError {
+    /// Unknown site.
+    NoSuchSite,
+    /// The user has no account here.
+    NoAccount,
+    /// Wrong password.
+    BadPassword,
+    /// The site's API does not expose this key.
+    NotExposed,
+    /// No such data.
+    NotFound,
+}
+
+/// The whole siloed web: a collection of independent sites.
+#[derive(Default)]
+pub struct SiloedWeb {
+    sites: RwLock<HashMap<String, Site>>,
+    effort: RwLock<HashMap<String, UserEffort>>,
+}
+
+impl SiloedWeb {
+    /// An empty web.
+    pub fn new() -> SiloedWeb {
+        SiloedWeb::default()
+    }
+
+    /// Launch a new application site.
+    pub fn create_site(&self, name: &str) {
+        self.sites.write().entry(name.to_string()).or_default();
+    }
+
+    /// Register a user at one site (every site, separately).
+    pub fn register(&self, site: &str, user: &str, password: &str) -> Result<(), SiloError> {
+        let mut sites = self.sites.write();
+        let s = sites.get_mut(site).ok_or(SiloError::NoSuchSite)?;
+        s.accounts.insert(user.to_string(), password.to_string());
+        self.effort.write().entry(user.to_string()).or_default().registrations += 1;
+        Ok(())
+    }
+
+    /// Upload a datum to one site (every site that needs it, separately).
+    pub fn upload(
+        &self,
+        site: &str,
+        user: &str,
+        password: &str,
+        key: &str,
+        value: &str,
+    ) -> Result<(), SiloError> {
+        let mut sites = self.sites.write();
+        let s = sites.get_mut(site).ok_or(SiloError::NoSuchSite)?;
+        match s.accounts.get(user) {
+            None => return Err(SiloError::NoAccount),
+            Some(p) if p != password => return Err(SiloError::BadPassword),
+            Some(_) => {}
+        }
+        s.data.insert((user.to_string(), key.to_string()), value.to_string());
+        self.effort.write().entry(user.to_string()).or_default().uploads += 1;
+        Ok(())
+    }
+
+    /// Authenticated fetch from one site.
+    pub fn fetch(
+        &self,
+        site: &str,
+        user: &str,
+        password: &str,
+        key: &str,
+    ) -> Result<String, SiloError> {
+        let sites = self.sites.read();
+        let s = sites.get(site).ok_or(SiloError::NoSuchSite)?;
+        match s.accounts.get(user) {
+            None => return Err(SiloError::NoAccount),
+            Some(p) if p != password => return Err(SiloError::BadPassword),
+            Some(_) => {}
+        }
+        s.data
+            .get(&(user.to_string(), key.to_string()))
+            .cloned()
+            .ok_or(SiloError::NotFound)
+    }
+
+    /// The site decides to expose a key through its narrow API ("which may
+    /// be narrow as a result of privacy considerations, corporate policy,
+    /// or simple caprice", §4).
+    pub fn expose_api(&self, site: &str, key: &str) {
+        if let Some(s) = self.sites.write().get_mut(site) {
+            s.api_exposed.push(key.to_string());
+        }
+    }
+
+    /// Unauthenticated API fetch — what a masher can get.
+    pub fn api_fetch(&self, site: &str, user: &str, key: &str) -> Result<String, SiloError> {
+        let sites = self.sites.read();
+        let s = sites.get(site).ok_or(SiloError::NoSuchSite)?;
+        if !s.api_exposed.iter().any(|k| k == key) {
+            return Err(SiloError::NotExposed);
+        }
+        s.data
+            .get(&(user.to_string(), key.to_string()))
+            .cloned()
+            .ok_or(SiloError::NotFound)
+    }
+
+    /// How many copies of `(user, key)` exist across all sites — the
+    /// fragmentation metric of E1.
+    pub fn copies_of(&self, user: &str, key: &str) -> usize {
+        self.sites
+            .read()
+            .values()
+            .filter(|s| s.data.contains_key(&(user.to_string(), key.to_string())))
+            .count()
+    }
+
+    /// Effort counters for a user.
+    pub fn effort(&self, user: &str) -> UserEffort {
+        self.effort.read().get(user).copied().unwrap_or_default()
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_site_needs_registration_and_upload() {
+        let web = SiloedWeb::new();
+        for site in ["photos.com", "blog.com", "social.com"] {
+            web.create_site(site);
+            web.register(site, "bob", "pw").unwrap();
+            web.upload(site, "bob", "pw", "preferences", "jazz,scifi").unwrap();
+        }
+        let e = web.effort("bob");
+        assert_eq!(e.registrations, 3);
+        assert_eq!(e.uploads, 3);
+        assert_eq!(web.copies_of("bob", "preferences"), 3, "the same datum, thrice");
+    }
+
+    #[test]
+    fn auth_is_per_site() {
+        let web = SiloedWeb::new();
+        web.create_site("a.com");
+        web.create_site("b.com");
+        web.register("a.com", "bob", "pw").unwrap();
+        // No account at b.com despite having one at a.com.
+        assert_eq!(web.upload("b.com", "bob", "pw", "k", "v"), Err(SiloError::NoAccount));
+        assert_eq!(web.fetch("a.com", "bob", "wrong", "k"), Err(SiloError::BadPassword));
+    }
+
+    #[test]
+    fn narrow_api_gates_cross_site_access() {
+        let web = SiloedWeb::new();
+        web.create_site("addr.com");
+        web.register("addr.com", "bob", "pw").unwrap();
+        web.upload("addr.com", "bob", "pw", "addresses", "1 Main St").unwrap();
+        web.upload("addr.com", "bob", "pw", "diary", "secret").unwrap();
+        // Nothing exposed yet.
+        assert_eq!(web.api_fetch("addr.com", "bob", "addresses"), Err(SiloError::NotExposed));
+        // The site exposes addresses (and only addresses).
+        web.expose_api("addr.com", "addresses");
+        assert_eq!(web.api_fetch("addr.com", "bob", "addresses").unwrap(), "1 Main St");
+        assert_eq!(web.api_fetch("addr.com", "bob", "diary"), Err(SiloError::NotExposed));
+    }
+
+    #[test]
+    fn missing_things_error() {
+        let web = SiloedWeb::new();
+        assert_eq!(web.register("ghost.com", "bob", "pw"), Err(SiloError::NoSuchSite));
+        web.create_site("a.com");
+        web.register("a.com", "bob", "pw").unwrap();
+        assert_eq!(web.fetch("a.com", "bob", "pw", "none"), Err(SiloError::NotFound));
+    }
+}

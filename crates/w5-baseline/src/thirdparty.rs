@@ -1,0 +1,147 @@
+//! The Facebook-style third-party application model (§4).
+//!
+//! "These third-party applications run on Web servers external to
+//! Facebook, thereby revealing users' profile information to third party
+//! developers, creating a vulnerability (being exposed to the users'
+//! data, the developers could in turn expose it)."
+//!
+//! The model: a platform holds profiles; installing an app means the
+//! platform *ships the user's profile to the developer's server* on every
+//! invocation. A [`DeveloperServer`] records everything it ever saw — the
+//! exposure ledger E2 tabulates. A W5 developer's ledger, by
+//! construction, stays empty: the code comes to the data.
+
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A third-party developer's external server: receives user data, keeps
+/// it forever (that's the point).
+#[derive(Default)]
+pub struct DeveloperServer {
+    /// Developer name.
+    pub developer: String,
+    seen: RwLock<Vec<(String, String)>>,
+}
+
+impl DeveloperServer {
+    /// A server for one developer.
+    pub fn new(developer: &str) -> Arc<DeveloperServer> {
+        Arc::new(DeveloperServer { developer: developer.to_string(), seen: RwLock::new(Vec::new()) })
+    }
+
+    /// The platform calls this with the user's data; the app returns HTML.
+    pub fn run_app(&self, user: &str, profile: &str) -> String {
+        self.seen.write().push((user.to_string(), profile.to_string()));
+        format!("<html><body>hi {user}, processed: {} bytes</body></html>", profile.len())
+    }
+
+    /// Every (user, datum) this developer has been exposed to.
+    pub fn exposure_ledger(&self) -> Vec<(String, String)> {
+        self.seen.read().clone()
+    }
+
+    /// Distinct users whose data this developer has seen.
+    pub fn users_exposed(&self) -> usize {
+        self.seen
+            .read()
+            .iter()
+            .map(|(u, _)| u.clone())
+            .collect::<HashSet<_>>()
+            .len()
+    }
+}
+
+/// The hosting platform: owns the data, forwards it to app developers.
+#[derive(Default)]
+pub struct ThirdPartyPlatform {
+    profiles: RwLock<HashMap<String, String>>,
+    apps: RwLock<HashMap<String, Arc<DeveloperServer>>>,
+    installs: RwLock<HashMap<String, Vec<String>>>,
+}
+
+impl ThirdPartyPlatform {
+    /// An empty platform.
+    pub fn new() -> ThirdPartyPlatform {
+        ThirdPartyPlatform::default()
+    }
+
+    /// Store a user's profile (the platform's own copy — sign-up is one
+    /// step, like W5; the *exposure* is what differs).
+    pub fn set_profile(&self, user: &str, profile: &str) {
+        self.profiles.write().insert(user.to_string(), profile.to_string());
+    }
+
+    /// A developer registers an app backed by their external server.
+    pub fn register_app(&self, name: &str, server: Arc<DeveloperServer>) {
+        self.apps.write().insert(name.to_string(), server);
+    }
+
+    /// A user installs an app — consenting, per the model, to their data
+    /// being sent to the developer.
+    pub fn install(&self, user: &str, app: &str) {
+        self.installs.write().entry(user.to_string()).or_default().push(app.to_string());
+    }
+
+    /// Run an installed app for a user: the platform sends the user's
+    /// profile to the developer's server and relays the HTML back.
+    pub fn run(&self, user: &str, app: &str) -> Option<String> {
+        if !self
+            .installs
+            .read()
+            .get(user)
+            .map(|apps| apps.iter().any(|a| a == app))
+            .unwrap_or(false)
+        {
+            return None;
+        }
+        let profile = self.profiles.read().get(user).cloned()?;
+        let server = self.apps.read().get(app).cloned()?;
+        Some(server.run_app(user, &profile))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn developer_sees_raw_data() {
+        let p = ThirdPartyPlatform::new();
+        let dev = DeveloperServer::new("sketchy-games");
+        p.register_app("quiz", Arc::clone(&dev));
+        p.set_profile("bob", "likes: jazz; ssn: 123");
+        p.install("bob", "quiz");
+
+        let html = p.run("bob", "quiz").unwrap();
+        assert!(html.contains("hi bob"));
+        // The whole profile crossed to the developer.
+        let ledger = dev.exposure_ledger();
+        assert_eq!(ledger.len(), 1);
+        assert!(ledger[0].1.contains("ssn: 123"));
+        assert_eq!(dev.users_exposed(), 1);
+    }
+
+    #[test]
+    fn exposure_grows_with_every_user() {
+        let p = ThirdPartyPlatform::new();
+        let dev = DeveloperServer::new("d");
+        p.register_app("quiz", Arc::clone(&dev));
+        for u in ["a", "b", "c"] {
+            p.set_profile(u, "private");
+            p.install(u, "quiz");
+            p.run(u, "quiz").unwrap();
+        }
+        assert_eq!(dev.users_exposed(), 3);
+    }
+
+    #[test]
+    fn uninstalled_apps_do_not_run() {
+        let p = ThirdPartyPlatform::new();
+        let dev = DeveloperServer::new("d");
+        p.register_app("quiz", Arc::clone(&dev));
+        p.set_profile("bob", "x");
+        assert!(p.run("bob", "quiz").is_none());
+        assert_eq!(dev.users_exposed(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Criterion benchmarks for CodeRank (experiment E6's rigorous arm).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use w5_coderank::{coderank, popularity, RankParams};
+use w5_sim::depgraph::{generate, DepGraphConfig};
+
+fn bench_rank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coderank");
+    g.sample_size(20);
+    for &apps in &[100usize, 1_000, 10_000] {
+        let world = generate(DepGraphConfig {
+            core: 20,
+            apps,
+            spam: apps / 10,
+            spam_ring: 10,
+            seed: 1,
+        });
+        g.bench_with_input(BenchmarkId::new("power_iteration", apps), &apps, |b, _| {
+            b.iter(|| black_box(coderank(&world.graph, RankParams::default()).iterations))
+        });
+        g.bench_with_input(BenchmarkId::new("popularity_baseline", apps), &apps, |b, _| {
+            b.iter(|| black_box(popularity(&world.graph).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rank);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks for the DIFC core (experiment E3's
+//! statistically rigorous arm).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use w5_difc::{can_flow, can_flow_with, wire, CapSet, Capability, Label, LabelPair, Tag, TagKind, TagRegistry};
+
+fn label(n: usize, offset: u64) -> Label {
+    Label::from_iter((0..n as u64).map(|i| Tag::from_raw(offset + i * 2 + 1)))
+}
+
+fn bench_label_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("label_ops");
+    for &n in &[1usize, 16, 256, 4096] {
+        let a = label(n, 1);
+        let b = label(n, 3);
+        let sup = a.union(&b);
+        g.bench_with_input(BenchmarkId::new("subset_hit", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.is_subset(&sup)))
+        });
+        g.bench_with_input(BenchmarkId::new("subset_miss", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.is_subset(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("union", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.union(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("intersection", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.intersection(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_flow_checks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_checks");
+    let a = label(16, 1);
+    let sup = a.union(&label(16, 3));
+    g.bench_function("raw_flow_16", |bench| {
+        bench.iter(|| black_box(can_flow(&a, &sup)))
+    });
+    let caps = CapSet::from_caps(a.iter().map(Capability::minus));
+    let empty = CapSet::empty();
+    g.bench_function("privileged_flow_16", |bench| {
+        bench.iter(|| black_box(can_flow_with(&a, &caps, &Label::empty(), &empty).is_ok()))
+    });
+    g.finish();
+}
+
+fn bench_tags_and_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tags_wire");
+    let reg = Arc::new(TagRegistry::new());
+    g.bench_function("create_tag", |bench| {
+        bench.iter(|| black_box(reg.create_tag(TagKind::ExportProtect, "u")))
+    });
+    let pair = LabelPair::new(label(16, 1), label(2, 1001));
+    let bytes = wire::pair_to_bytes(&pair);
+    g.bench_function("wire_encode_16", |bench| {
+        bench.iter(|| black_box(wire::pair_to_bytes(&pair)))
+    });
+    g.bench_function("wire_decode_16", |bench| {
+        bench.iter(|| black_box(wire::pair_from_bytes(&bytes).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_label_ops, bench_flow_checks, bench_tags_and_wire);
+criterion_main!(benches);

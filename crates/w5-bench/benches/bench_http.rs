@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the HTTP front end: parsing and the full
+//! loopback request path (experiment E4's rigorous arm).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::io::Cursor;
+use std::sync::Arc;
+use w5_net::http::Limits;
+use w5_net::{HttpClient, Request, Response, Server, ServerConfig};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("http_parse");
+    let simple = b"GET /app/devA/photos/view?user=bob&name=cat HTTP/1.1\r\nhost: w5.org\r\ncookie: w5_session=0123456789abcdef\r\naccept: */*\r\n\r\n".to_vec();
+    g.bench_function("request_simple", |b| {
+        b.iter(|| {
+            let mut r = Cursor::new(&simple);
+            black_box(Request::read_from(&mut r, &Limits::default()).unwrap())
+        })
+    });
+    let form = b"POST /login HTTP/1.1\r\nhost: w5.org\r\ncontent-type: application/x-www-form-urlencoded\r\ncontent-length: 25\r\n\r\nuser=bob&password=hunter2".to_vec();
+    g.bench_function("request_form_post", |b| {
+        b.iter(|| {
+            let mut r = Cursor::new(&form);
+            black_box(Request::read_from(&mut r, &Limits::default()).unwrap())
+        })
+    });
+    let resp = {
+        let mut buf = Vec::new();
+        Response::html("<html><body>hello</body></html>")
+            .write_to(&mut buf, true)
+            .unwrap();
+        buf
+    };
+    g.bench_function("response_roundtrip", |b| {
+        b.iter(|| {
+            let mut r = Cursor::new(&resp);
+            black_box(Response::read_from(&mut r, &Limits::default()).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_loopback(c: &mut Criterion) {
+    let mut g = c.benchmark_group("http_loopback");
+    g.sample_size(30);
+    // Criterion drives millions of requests down one connection; lift the
+    // default per-connection request cap so keep-alive isn't cut short.
+    let config = ServerConfig { max_requests_per_connection: usize::MAX, ..ServerConfig::default() };
+    let server = Server::start(
+        "127.0.0.1:0",
+        config,
+        Arc::new(|_req: Request, _peer: std::net::SocketAddr| Response::text("ok")),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let client = HttpClient::new();
+
+    g.bench_function("fresh_connection", |b| {
+        b.iter(|| black_box(client.get(addr, "/x").unwrap().status))
+    });
+    let mut conn = client.connect(addr).unwrap();
+    g.bench_function("keepalive", |b| {
+        b.iter(|| black_box(conn.request(&Request::get("/x")).unwrap().status))
+    });
+    g.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_parse, bench_loopback);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks for the perimeter JS filter (experiment E10's
+//! rigorous arm).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use w5_platform::sanitize_html;
+
+fn page(paragraphs: usize, hostile: bool) -> String {
+    let mut html = String::from("<html><body>");
+    for p in 0..paragraphs {
+        html.push_str(&format!(
+            "<p class=\"x{p}\">lorem ipsum dolor sit amet {p}</p><a href=\"/l{p}\">link</a>"
+        ));
+        if hostile && p % 10 == 0 {
+            html.push_str("<script>bad()</script><img src=a onerror=steal()>");
+        }
+    }
+    html.push_str("</body></html>");
+    html
+}
+
+fn bench_sanitize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sanitize");
+    for &(name, hostile) in &[("clean", false), ("hostile", true)] {
+        for &paragraphs in &[10usize, 100, 1000] {
+            let html = page(paragraphs, hostile);
+            g.throughput(Throughput::Bytes(html.len() as u64));
+            g.bench_with_input(
+                BenchmarkId::new(name, paragraphs),
+                &html,
+                |b, html| b.iter(|| black_box(sanitize_html(html).1.total())),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sanitize);
+criterion_main!(benches);

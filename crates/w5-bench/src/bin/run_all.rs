@@ -1,0 +1,41 @@
+//! Run every experiment binary in order, producing the complete
+//! evaluation transcript `EXPERIMENTS.md` records.
+
+use std::process::Command;
+
+fn main() {
+    let exps = [
+        "exp_e1_walls",
+        "exp_e2_attacks",
+        "exp_e3_micro",
+        "exp_e4_http",
+        "exp_e5_audit",
+        "exp_e6_coderank",
+        "exp_e7_federation",
+        "exp_e8_resources",
+        "exp_e9_covert",
+        "exp_e10_sanitize",
+        "exp_e11_store",
+        "exp_e12_recommender",
+        "exp_a1_ablation",
+    ];
+    let self_path = std::env::current_exe().expect("own path");
+    let dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for exp in exps {
+        println!("\n##################################################################");
+        let status = Command::new(dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("spawn {exp}: {e}"));
+        if !status.success() {
+            failures.push(exp);
+        }
+    }
+    println!("\n##################################################################");
+    if failures.is_empty() {
+        println!("all {} experiments completed", exps.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

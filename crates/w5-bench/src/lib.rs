@@ -1,0 +1,90 @@
+//! # w5-bench — the evaluation harness
+//!
+//! The paper has no evaluation section (it is a HotNets position paper);
+//! `DESIGN.md` §4 defines the experiment suite this crate implements. Each
+//! `exp_*` binary regenerates one experiment's table; `cargo bench` runs
+//! the Criterion microbenchmarks. `EXPERIMENTS.md` records claim vs
+//! measurement for each.
+//!
+//! This library holds the helpers the binaries share.
+
+use std::time::{Duration, Instant};
+use w5_sim::Histogram;
+
+/// Time a closure `n` times into a histogram, after `warmup` unmeasured
+/// runs.
+pub fn measure<F: FnMut()>(warmup: usize, n: usize, mut f: F) -> Histogram {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut h = Histogram::new();
+    for _ in 0..n {
+        let t = Instant::now();
+        f();
+        h.record(t.elapsed());
+    }
+    h
+}
+
+/// Run a closure repeatedly for at least `budget`, returning
+/// (iterations, elapsed).
+pub fn throughput<F: FnMut()>(budget: Duration, mut f: F) -> (u64, Duration) {
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        f();
+        iters += 1;
+    }
+    (iters, start.elapsed())
+}
+
+/// Format ops/sec.
+pub fn ops_per_sec(iters: u64, elapsed: Duration) -> String {
+    if elapsed.is_zero() {
+        return "inf".to_string();
+    }
+    let rate = iters as f64 / elapsed.as_secs_f64();
+    if rate >= 1e6 {
+        format!("{:.2}M/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k/s", rate / 1e3)
+    } else {
+        format!("{rate:.1}/s")
+    }
+}
+
+/// Print a standard experiment header.
+pub fn banner(id: &str, title: &str, anchor: &str) {
+    println!("=== {id}: {title}");
+    println!("    paper anchor: {anchor}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_records_n_samples() {
+        let h = measure(2, 10, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert_eq!(h.count(), 10);
+    }
+
+    #[test]
+    fn throughput_runs_at_least_once() {
+        let (iters, elapsed) = throughput(Duration::from_millis(5), || {
+            std::hint::black_box(2 * 2);
+        });
+        assert!(iters >= 1);
+        assert!(elapsed >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(ops_per_sec(2_000_000, Duration::from_secs(1)), "2.00M/s");
+        assert_eq!(ops_per_sec(5_000, Duration::from_secs(1)), "5.0k/s");
+        assert_eq!(ops_per_sec(10, Duration::from_secs(1)), "10.0/s");
+    }
+}

@@ -1,0 +1,124 @@
+//! The module dependency graph.
+
+use std::collections::HashMap;
+
+/// A directed graph over module names. An edge `a → b` means "a depends on
+/// b" (import or embed).
+#[derive(Clone, Debug, Default)]
+pub struct DepGraph {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    /// Out-adjacency: `out[i]` lists the nodes `i` depends on.
+    out: Vec<Vec<usize>>,
+    /// In-degree counts (kept incrementally for the popularity baseline).
+    in_degree: Vec<usize>,
+}
+
+impl DepGraph {
+    /// An empty graph.
+    pub fn new() -> DepGraph {
+        DepGraph::default()
+    }
+
+    /// Build from `(from, to)` name pairs.
+    pub fn from_edges<'a, I: IntoIterator<Item = (&'a str, &'a str)>>(edges: I) -> DepGraph {
+        let mut g = DepGraph::new();
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Intern a node, returning its index.
+    pub fn add_node(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i);
+        self.out.push(Vec::new());
+        self.in_degree.push(0);
+        i
+    }
+
+    /// Add a dependency edge (parallel edges are kept; self-loops ignored).
+    pub fn add_edge(&mut self, from: &str, to: &str) {
+        let a = self.add_node(from);
+        let b = self.add_node(to);
+        if a == b {
+            return;
+        }
+        self.out[a].push(b);
+        self.in_degree[b] += 1;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+
+    /// Node name by index.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Node index by name.
+    pub fn node(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Outgoing dependencies of node `i`.
+    pub fn deps(&self, i: usize) -> &[usize] {
+        &self.out[i]
+    }
+
+    /// In-degree of node `i` (how many modules depend on it).
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.in_degree[i]
+    }
+
+    /// All node names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = DepGraph::from_edges([("a", "lib"), ("b", "lib"), ("lib", "base")]);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        let lib = g.node("lib").unwrap();
+        assert_eq!(g.in_degree(lib), 2);
+        assert_eq!(g.deps(lib), &[g.node("base").unwrap()]);
+        assert_eq!(g.name(lib), "lib");
+        assert!(g.node("nope").is_none());
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = DepGraph::new();
+        g.add_edge("a", "a");
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_nodes_interned() {
+        let mut g = DepGraph::new();
+        let i = g.add_node("x");
+        let j = g.add_node("x");
+        assert_eq!(i, j);
+        assert_eq!(g.node_count(), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # w5-coderank — identifying suitable software (paper §3.2)
+//!
+//! "Where PageRank uses the structure of the Web's hyperlink graph to
+//! infer a page's suitability, a W5 'code search' could use the structure
+//! of the dependency graph among modules to infer a module's suitability."
+//!
+//! Two dependency edge kinds feed the graph (both from the paper): **embed
+//! edges** (app A's HTML links to an app using B's code) and **import
+//! edges** (A imports B as a library). Both are "A depends on B" — a vote
+//! of confidence flowing from A to B.
+//!
+//! * [`graph::DepGraph`] — the module dependency graph.
+//! * [`rank`] — CodeRank power iteration with damping and dangling-mass
+//!   redistribution.
+//! * [`search::CodeSearch`] — text search over the catalog ranked by
+//!   CodeRank, with the naive popularity (in-degree) baseline experiment
+//!   E6 compares against.
+
+pub mod graph;
+pub mod rank;
+pub mod search;
+
+pub use graph::DepGraph;
+pub use rank::{coderank, RankParams, RankResult};
+pub use search::{popularity, CodeSearch, SearchHit};

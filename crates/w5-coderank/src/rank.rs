@@ -1,0 +1,177 @@
+//! CodeRank power iteration.
+//!
+//! Standard PageRank over the dependency graph: rank flows from dependers
+//! to dependees. Dangling nodes (no dependencies) spread their mass
+//! uniformly, and the damping factor models a user "browsing the catalog"
+//! who occasionally jumps to a random module.
+
+use crate::graph::DepGraph;
+
+/// Iteration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RankParams {
+    /// Damping factor (probability of following a dependency edge).
+    pub damping: f64,
+    /// Convergence threshold on the L1 delta between iterations.
+    pub epsilon: f64,
+    /// Hard iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for RankParams {
+    fn default() -> Self {
+        RankParams { damping: 0.85, epsilon: 1e-9, max_iters: 200 }
+    }
+}
+
+/// The result of a CodeRank run.
+#[derive(Clone, Debug)]
+pub struct RankResult {
+    /// Scores, indexed like the graph's nodes; they sum to 1.
+    pub scores: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final L1 delta.
+    pub delta: f64,
+    /// Whether `epsilon` was reached within `max_iters`.
+    pub converged: bool,
+}
+
+impl RankResult {
+    /// Node indices sorted by descending score (ties by index for
+    /// determinism).
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.scores.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.scores[b]
+                .partial_cmp(&self.scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+}
+
+/// Run CodeRank over the graph.
+pub fn coderank(graph: &DepGraph, params: RankParams) -> RankResult {
+    let n = graph.node_count();
+    if n == 0 {
+        return RankResult { scores: Vec::new(), iterations: 0, delta: 0.0, converged: true };
+    }
+    let uniform = 1.0 / n as f64;
+    let mut scores = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    let mut iterations = 0;
+    let mut delta = f64::INFINITY;
+
+    while iterations < params.max_iters && delta > params.epsilon {
+        // Teleport + dangling mass.
+        let dangling: f64 = (0..n)
+            .filter(|&i| graph.deps(i).is_empty())
+            .map(|i| scores[i])
+            .sum();
+        let base = (1.0 - params.damping) * uniform + params.damping * dangling * uniform;
+        next.iter_mut().for_each(|v| *v = base);
+        for i in 0..n {
+            let deps = graph.deps(i);
+            if deps.is_empty() {
+                continue;
+            }
+            let share = params.damping * scores[i] / deps.len() as f64;
+            for &j in deps {
+                next[j] += share;
+            }
+        }
+        delta = scores
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut scores, &mut next);
+        iterations += 1;
+    }
+    RankResult { scores, iterations, delta, converged: delta <= params.epsilon }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let r = coderank(&DepGraph::new(), RankParams::default());
+        assert!(r.scores.is_empty());
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let g = DepGraph::from_edges([("a", "b"), ("b", "c"), ("c", "a"), ("d", "a")]);
+        let r = coderank(&g, RankParams::default());
+        let sum: f64 = r.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn widely_depended_on_module_ranks_highest() {
+        // Many apps import one library; the library imports a base.
+        let mut edges = vec![("lib", "base")];
+        let apps: Vec<String> = (0..10).map(|i| format!("app{i}")).collect();
+        for a in &apps {
+            edges.push((a.as_str(), "lib"));
+        }
+        let g = DepGraph::from_edges(edges.iter().map(|&(a, b)| (a, b)));
+        let r = coderank(&g, RankParams::default());
+        let ranking = r.ranking();
+        let top = g.name(ranking[0]);
+        // base receives all of lib's (large) mass: base and lib must be the
+        // top two, apps nowhere near.
+        assert!(top == "base" || top == "lib", "top={top}");
+        let second = g.name(ranking[1]);
+        assert!(second == "base" || second == "lib");
+        assert!(g.name(ranking[2]).starts_with("app"));
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let g = DepGraph::from_edges([("a", "b"), ("b", "c"), ("c", "a")]);
+        let r = coderank(&g, RankParams::default());
+        for s in &r.scores {
+            assert!((s - 1.0 / 3.0).abs() < 1e-6, "{:?}", r.scores);
+        }
+    }
+
+    #[test]
+    fn dangling_mass_is_conserved() {
+        // b has no deps (dangling).
+        let g = DepGraph::from_edges([("a", "b")]);
+        let r = coderank(&g, RankParams::default());
+        let sum: f64 = r.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // b outranks a.
+        assert!(r.scores[g.node("b").unwrap()] > r.scores[g.node("a").unwrap()]);
+    }
+
+    #[test]
+    fn max_iters_respected() {
+        let g = DepGraph::from_edges([("a", "b"), ("b", "a")]);
+        let r = coderank(&g, RankParams { damping: 0.85, epsilon: -1.0, max_iters: 3 });
+        assert_eq!(r.iterations, 3);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn tighter_epsilon_takes_more_iterations() {
+        let mut edges = Vec::new();
+        for i in 0..50 {
+            edges.push((format!("m{i}"), format!("m{}", (i * 7 + 1) % 50)));
+            edges.push((format!("m{i}"), format!("m{}", (i * 3 + 2) % 50)));
+        }
+        let g = DepGraph::from_edges(edges.iter().map(|(a, b)| (a.as_str(), b.as_str())));
+        let loose = coderank(&g, RankParams { epsilon: 1e-3, ..RankParams::default() });
+        let tight = coderank(&g, RankParams { epsilon: 1e-12, ..RankParams::default() });
+        assert!(tight.iterations > loose.iterations);
+        assert!(loose.converged && tight.converged);
+    }
+}

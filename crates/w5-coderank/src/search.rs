@@ -1,0 +1,137 @@
+//! Code search: text match ordered by CodeRank.
+//!
+//! "Applications written by top-ranked developers would receive top
+//! placement in searches by users for new features" (§3.2). A search hit
+//! matches the query against the module name and description; hits are
+//! ordered by the module's CodeRank score.
+
+use crate::graph::DepGraph;
+use crate::rank::{coderank, RankParams, RankResult};
+
+/// One search result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchHit {
+    /// Module name.
+    pub name: String,
+    /// CodeRank score.
+    pub score: f64,
+}
+
+/// A built search index.
+pub struct CodeSearch {
+    graph: DepGraph,
+    descriptions: Vec<String>,
+    rank: RankResult,
+}
+
+impl CodeSearch {
+    /// Build from a graph plus per-module descriptions (aligned with node
+    /// indices; missing entries are treated as empty).
+    pub fn build(graph: DepGraph, descriptions: Vec<String>, params: RankParams) -> CodeSearch {
+        let rank = coderank(&graph, params);
+        CodeSearch { graph, descriptions, rank }
+    }
+
+    /// The rank result (for diagnostics).
+    pub fn rank(&self) -> &RankResult {
+        &self.rank
+    }
+
+    /// Case-insensitive substring search over names and descriptions,
+    /// ranked by CodeRank.
+    pub fn search(&self, query: &str, limit: usize) -> Vec<SearchHit> {
+        let q = query.to_ascii_lowercase();
+        let mut hits: Vec<SearchHit> = (0..self.graph.node_count())
+            .filter(|&i| {
+                self.graph.name(i).to_ascii_lowercase().contains(&q)
+                    || self
+                        .descriptions
+                        .get(i)
+                        .map(|d| d.to_ascii_lowercase().contains(&q))
+                        .unwrap_or(false)
+            })
+            .map(|i| SearchHit { name: self.graph.name(i).to_string(), score: self.rank.scores[i] })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        hits.truncate(limit);
+        hits
+    }
+}
+
+/// The naive popularity baseline: rank by raw in-degree. E6 compares its
+/// ability to surface the planted trustworthy core against CodeRank's.
+pub fn popularity(graph: &DepGraph) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..graph.node_count()).collect();
+    idx.sort_by(|&a, &b| graph.in_degree(b).cmp(&graph.in_degree(a)).then(a.cmp(&b)));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (DepGraph, Vec<String>) {
+        let g = DepGraph::from_edges([
+            ("photoapp", "imagelib"),
+            ("blogapp", "imagelib"),
+            ("socialapp", "imagelib"),
+            ("imagelib", "syslib"),
+            ("spamapp", "spamlib"),
+        ]);
+        let descriptions = g
+            .names()
+            .iter()
+            .map(|n| format!("the {n} module for images and more"))
+            .collect();
+        (g, descriptions)
+    }
+
+    #[test]
+    fn search_finds_and_ranks() {
+        let (g, d) = sample();
+        let s = CodeSearch::build(g, d, RankParams::default());
+        let hits = s.search("lib", 10);
+        let names: Vec<&str> = hits.iter().map(|h| h.name.as_str()).collect();
+        assert!(names.contains(&"imagelib"));
+        assert!(names.contains(&"syslib"));
+        assert!(names.contains(&"spamlib"));
+        // The widely-imported imagelib outranks the unused spamlib.
+        let pos_image = names.iter().position(|&n| n == "imagelib").unwrap();
+        let pos_spam = names.iter().position(|&n| n == "spamlib").unwrap();
+        assert!(pos_image < pos_spam);
+    }
+
+    #[test]
+    fn search_matches_descriptions() {
+        let (g, d) = sample();
+        let s = CodeSearch::build(g, d, RankParams::default());
+        let hits = s.search("images and more", 10);
+        assert_eq!(hits.len(), 7, "all descriptions match");
+    }
+
+    #[test]
+    fn limit_respected() {
+        let (g, d) = sample();
+        let s = CodeSearch::build(g, d, RankParams::default());
+        assert_eq!(s.search("the", 2).len(), 2);
+    }
+
+    #[test]
+    fn no_match_is_empty() {
+        let (g, d) = sample();
+        let s = CodeSearch::build(g, d, RankParams::default());
+        assert!(s.search("zzzzz", 10).is_empty());
+    }
+
+    #[test]
+    fn popularity_orders_by_in_degree() {
+        let (g, _) = sample();
+        let order = popularity(&g);
+        assert_eq!(g.name(order[0]), "imagelib", "in-degree 3");
+    }
+}

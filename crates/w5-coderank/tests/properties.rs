@@ -1,0 +1,75 @@
+//! Property tests for CodeRank: conservation, determinism and ranking
+//! stability on random graphs.
+
+use proptest::prelude::*;
+use w5_coderank::{coderank, popularity, DepGraph, RankParams};
+
+fn arb_graph() -> impl Strategy<Value = DepGraph> {
+    proptest::collection::vec((0u8..24, 0u8..24), 0..80).prop_map(|edges| {
+        let named: Vec<(String, String)> = edges
+            .into_iter()
+            .map(|(a, b)| (format!("m{a}"), format!("m{b}")))
+            .collect();
+        DepGraph::from_edges(named.iter().map(|(a, b)| (a.as_str(), b.as_str())))
+    })
+}
+
+proptest! {
+    /// Rank mass is conserved: scores always sum to 1 (when nonempty).
+    #[test]
+    fn mass_conserved(g in arb_graph()) {
+        let r = coderank(&g, RankParams::default());
+        if g.node_count() > 0 {
+            let sum: f64 = r.scores.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "sum={sum}");
+        }
+        // Scores are all positive (teleportation guarantees it).
+        prop_assert!(r.scores.iter().all(|&s| s > 0.0));
+    }
+
+    /// Deterministic: two runs agree exactly.
+    #[test]
+    fn deterministic(g in arb_graph()) {
+        let a = coderank(&g, RankParams::default());
+        let b = coderank(&g, RankParams::default());
+        prop_assert_eq!(a.scores, b.scores);
+        prop_assert_eq!(a.iterations, b.iterations);
+    }
+
+    /// The ranking is a permutation of all node indices.
+    #[test]
+    fn ranking_is_permutation(g in arb_graph()) {
+        let r = coderank(&g, RankParams::default());
+        let mut ranking = r.ranking();
+        ranking.sort_unstable();
+        let expect: Vec<usize> = (0..g.node_count()).collect();
+        prop_assert_eq!(ranking, expect);
+    }
+
+    /// Popularity ordering is consistent with in-degree.
+    #[test]
+    fn popularity_sorted_by_in_degree(g in arb_graph()) {
+        let order = popularity(&g);
+        for w in order.windows(2) {
+            prop_assert!(g.in_degree(w[0]) >= g.in_degree(w[1]));
+        }
+    }
+
+    /// Adding a depender never lowers the dependee's score.
+    #[test]
+    fn new_depender_helps(g in arb_graph(), target in 0u8..24) {
+        let target_name = format!("m{target}");
+        let mut with = g.clone();
+        // A fresh node depending only on the target.
+        with.add_edge("newcomer-node", &target_name);
+        let before = coderank(&g, RankParams::default());
+        let after = coderank(&with, RankParams::default());
+        if let (Some(i0), Some(i1)) = (g.node(&target_name), with.node(&target_name)) {
+            // Normalize for the different node counts: compare score ratio
+            // to the uniform baseline of each graph.
+            let b = before.scores[i0] * g.node_count() as f64;
+            let a = after.scores[i1] * with.node_count() as f64;
+            prop_assert!(a >= b - 1e-9, "before={b} after={a}");
+        }
+    }
+}

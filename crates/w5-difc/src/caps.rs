@@ -1,0 +1,256 @@
+//! Capabilities and capability sets.
+//!
+//! A capability is the pair of a [`Tag`] and a sign: `t+` permits *adding*
+//! `t` to a label (raising secrecy / claiming integrity), `t-` permits
+//! *removing* it (declassifying / dropping an integrity claim). Holding both
+//! halves is called *owning* the tag — the owner can move data tagged `t`
+//! across any boundary, which in W5 is exactly the privilege users delegate
+//! to declassifiers (paper §3.1).
+
+use crate::label::Label;
+use crate::tag::Tag;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which half of a tag's capability pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Privilege {
+    /// `t+`: may add the tag to a label.
+    Plus,
+    /// `t-`: may remove the tag from a label.
+    Minus,
+}
+
+/// A single capability: a tag plus a sign.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Capability {
+    /// The tag this capability governs.
+    pub tag: Tag,
+    /// Which operation it permits.
+    pub privilege: Privilege,
+}
+
+impl Capability {
+    /// The `t+` capability for `tag`.
+    pub fn plus(tag: Tag) -> Capability {
+        Capability { tag, privilege: Privilege::Plus }
+    }
+
+    /// The `t-` capability for `tag`.
+    pub fn minus(tag: Tag) -> Capability {
+        Capability { tag, privilege: Privilege::Minus }
+    }
+}
+
+impl fmt::Debug for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.privilege {
+            Privilege::Plus => write!(f, "{}+", self.tag),
+            Privilege::Minus => write!(f, "{}-", self.tag),
+        }
+    }
+}
+
+/// A set of capabilities — a process's private bag `D`, or a grant bundle
+/// handed to a declassifier.
+#[derive(Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CapSet {
+    plus: BTreeSet<Tag>,
+    minus: BTreeSet<Tag>,
+}
+
+impl CapSet {
+    /// The empty capability set.
+    pub fn empty() -> CapSet {
+        CapSet::default()
+    }
+
+    /// Build from an iterator of capabilities.
+    pub fn from_caps<I: IntoIterator<Item = Capability>>(caps: I) -> CapSet {
+        let mut s = CapSet::empty();
+        for c in caps {
+            s.insert(c);
+        }
+        s
+    }
+
+    /// Insert one capability. Returns true if it was newly added.
+    pub fn insert(&mut self, cap: Capability) -> bool {
+        match cap.privilege {
+            Privilege::Plus => self.plus.insert(cap.tag),
+            Privilege::Minus => self.minus.insert(cap.tag),
+        }
+    }
+
+    /// Remove one capability. Returns true if it was present.
+    pub fn remove(&mut self, cap: Capability) -> bool {
+        match cap.privilege {
+            Privilege::Plus => self.plus.remove(&cap.tag),
+            Privilege::Minus => self.minus.remove(&cap.tag),
+        }
+    }
+
+    /// Grant full ownership (`t+` and `t-`) of a tag.
+    pub fn insert_ownership(&mut self, tag: Tag) {
+        self.plus.insert(tag);
+        self.minus.insert(tag);
+    }
+
+    /// Does the set contain `t+` for this tag?
+    pub fn has_plus(&self, tag: Tag) -> bool {
+        self.plus.contains(&tag)
+    }
+
+    /// Does the set contain `t-` for this tag?
+    pub fn has_minus(&self, tag: Tag) -> bool {
+        self.minus.contains(&tag)
+    }
+
+    /// Does the set contain both halves?
+    pub fn owns(&self, tag: Tag) -> bool {
+        self.has_plus(tag) && self.has_minus(tag)
+    }
+
+    /// Does the set contain the given capability?
+    pub fn contains(&self, cap: Capability) -> bool {
+        match cap.privilege {
+            Privilege::Plus => self.has_plus(cap.tag),
+            Privilege::Minus => self.has_minus(cap.tag),
+        }
+    }
+
+    /// All tags with a `t+` here, as a label (used in flow adjustments).
+    pub fn plus_label(&self) -> Label {
+        Label::from_iter(self.plus.iter().copied())
+    }
+
+    /// All tags with a `t-` here, as a label.
+    pub fn minus_label(&self) -> Label {
+        Label::from_iter(self.minus.iter().copied())
+    }
+
+    /// Union with another capability set.
+    pub fn union(&self, other: &CapSet) -> CapSet {
+        CapSet {
+            plus: self.plus.union(&other.plus).copied().collect(),
+            minus: self.minus.union(&other.minus).copied().collect(),
+        }
+    }
+
+    /// Merge another capability set into this one in place.
+    pub fn extend(&mut self, other: &CapSet) {
+        self.plus.extend(other.plus.iter().copied());
+        self.minus.extend(other.minus.iter().copied());
+    }
+
+    /// `self ⊆ other` as capability sets.
+    pub fn is_subset(&self, other: &CapSet) -> bool {
+        self.plus.is_subset(&other.plus) && self.minus.is_subset(&other.minus)
+    }
+
+    /// Number of capabilities held.
+    pub fn len(&self) -> usize {
+        self.plus.len() + self.minus.len()
+    }
+
+    /// True if no capabilities are held.
+    pub fn is_empty(&self) -> bool {
+        self.plus.is_empty() && self.minus.is_empty()
+    }
+
+    /// Iterate all capabilities.
+    pub fn iter(&self) -> impl Iterator<Item = Capability> + '_ {
+        self.plus
+            .iter()
+            .map(|&t| Capability::plus(t))
+            .chain(self.minus.iter().map(|&t| Capability::minus(t)))
+    }
+}
+
+impl fmt::Debug for CapSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Capability> for CapSet {
+    fn from_iter<I: IntoIterator<Item = Capability>>(iter: I) -> CapSet {
+        CapSet::from_caps(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_query_remove() {
+        let t = Tag::from_raw(1);
+        let mut s = CapSet::empty();
+        assert!(s.insert(Capability::plus(t)));
+        assert!(!s.insert(Capability::plus(t)), "duplicate insert reports false");
+        assert!(s.has_plus(t));
+        assert!(!s.has_minus(t));
+        assert!(!s.owns(t));
+        s.insert(Capability::minus(t));
+        assert!(s.owns(t));
+        assert!(s.remove(Capability::plus(t)));
+        assert!(!s.has_plus(t));
+        assert!(!s.remove(Capability::plus(t)));
+    }
+
+    #[test]
+    fn ownership_insert() {
+        let t = Tag::from_raw(2);
+        let mut s = CapSet::empty();
+        s.insert_ownership(t);
+        assert!(s.owns(t));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let t1 = Tag::from_raw(1);
+        let t2 = Tag::from_raw(2);
+        let a = CapSet::from_caps([Capability::plus(t1)]);
+        let b = CapSet::from_caps([Capability::minus(t2)]);
+        let u = a.union(&b);
+        assert!(a.is_subset(&u));
+        assert!(b.is_subset(&u));
+        assert!(!u.is_subset(&a));
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn plus_minus_labels() {
+        let t1 = Tag::from_raw(1);
+        let t2 = Tag::from_raw(2);
+        let s = CapSet::from_caps([Capability::plus(t1), Capability::minus(t2), Capability::minus(t1)]);
+        assert_eq!(s.plus_label(), Label::from_iter([t1]));
+        assert_eq!(s.minus_label(), Label::from_iter([t1, t2]));
+    }
+
+    #[test]
+    fn iter_covers_both_signs() {
+        let t = Tag::from_raw(3);
+        let mut s = CapSet::empty();
+        s.insert_ownership(t);
+        let caps: Vec<_> = s.iter().collect();
+        assert!(caps.contains(&Capability::plus(t)));
+        assert!(caps.contains(&Capability::minus(t)));
+    }
+
+    #[test]
+    fn debug_format() {
+        let t = Tag::from_raw(4);
+        let s = CapSet::from_caps([Capability::plus(t)]);
+        assert_eq!(format!("{s:?}"), "O{t4+}");
+    }
+}

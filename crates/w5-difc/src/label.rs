@@ -1,0 +1,289 @@
+//! Labels: sorted sets of tags with cheap set algebra.
+//!
+//! Labels are the hot data structure of the whole platform — every IPC send,
+//! file access and database row visit performs label comparisons — so the
+//! representation is a sorted, deduplicated `Vec<Tag>`:
+//!
+//! * subset / equality checks are linear merges with no allocation,
+//! * union / intersection / difference are single-pass merges,
+//! * the common cases (empty label, singleton `{e_u}`) stay tiny.
+//!
+//! Labels are immutable in spirit: all operations return new labels, which
+//! keeps sharing across threads trivial.
+
+use crate::tag::Tag;
+use std::fmt;
+
+/// A set of [`Tag`]s. Invariant: the backing vector is sorted and contains
+/// no duplicates.
+#[derive(Clone, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Label(Vec<Tag>);
+
+impl Label {
+    /// The empty label (public data / no integrity claims).
+    pub fn empty() -> Label {
+        Label(Vec::new())
+    }
+
+    /// A label containing a single tag.
+    pub fn singleton(tag: Tag) -> Label {
+        Label(vec![tag])
+    }
+
+    /// Build from an unsorted, possibly duplicated tag collection.
+    pub fn from_iter<I: IntoIterator<Item = Tag>>(tags: I) -> Label {
+        let mut v: Vec<Tag> = tags.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Label(v)
+    }
+
+    /// Build from a vector that the caller guarantees is sorted and
+    /// deduplicated. Checked in debug builds.
+    pub fn from_sorted_vec(v: Vec<Tag>) -> Label {
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "label vec not strictly sorted");
+        Label(v)
+    }
+
+    /// Number of tags in the label.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the label contains no tags.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, tag: Tag) -> bool {
+        self.0.binary_search(&tag).is_ok()
+    }
+
+    /// Iterate tags in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Tag> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// The underlying sorted slice.
+    pub fn as_slice(&self) -> &[Tag] {
+        &self.0
+    }
+
+    /// `self ⊆ other`, by linear merge (O(|self| + |other|)).
+    pub fn is_subset(&self, other: &Label) -> bool {
+        if self.0.len() > other.0.len() {
+            return false;
+        }
+        let mut oi = other.0.iter();
+        'outer: for t in &self.0 {
+            for o in oi.by_ref() {
+                match o.cmp(t) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &Label) -> Label {
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        Label(out)
+    }
+
+    /// `self ∩ other`.
+    pub fn intersection(&self, other: &Label) -> Label {
+        let mut out = Vec::with_capacity(self.0.len().min(other.0.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Label(out)
+    }
+
+    /// `self − other`.
+    pub fn difference(&self, other: &Label) -> Label {
+        let mut out = Vec::with_capacity(self.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() {
+            if j >= other.0.len() {
+                out.extend_from_slice(&self.0[i..]);
+                break;
+            }
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Label(out)
+    }
+
+    /// A copy of `self` with `tag` inserted.
+    pub fn with(&self, tag: Tag) -> Label {
+        match self.0.binary_search(&tag) {
+            Ok(_) => self.clone(),
+            Err(pos) => {
+                let mut v = self.0.clone();
+                v.insert(pos, tag);
+                Label(v)
+            }
+        }
+    }
+
+    /// A copy of `self` with `tag` removed.
+    pub fn without(&self, tag: Tag) -> Label {
+        match self.0.binary_search(&tag) {
+            Ok(pos) => {
+                let mut v = self.0.clone();
+                v.remove(pos);
+                Label(v)
+            }
+            Err(_) => self.clone(),
+        }
+    }
+
+    /// True if the labels share no tags.
+    pub fn is_disjoint(&self, other: &Label) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Tag> for Label {
+    fn from_iter<I: IntoIterator<Item = Tag>>(iter: I) -> Label {
+        Label::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Label {
+    type Item = Tag;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Tag>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(ids: &[u64]) -> Label {
+        Label::from_iter(ids.iter().map(|&i| Tag::from_raw(i)))
+    }
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        let a = l(&[3, 1, 2, 3, 1]);
+        assert_eq!(a.as_slice(), &[Tag::from_raw(1), Tag::from_raw(2), Tag::from_raw(3)]);
+    }
+
+    #[test]
+    fn subset_basic() {
+        assert!(l(&[]).is_subset(&l(&[])));
+        assert!(l(&[]).is_subset(&l(&[1])));
+        assert!(l(&[1]).is_subset(&l(&[1, 2])));
+        assert!(l(&[1, 2]).is_subset(&l(&[1, 2])));
+        assert!(!l(&[1, 3]).is_subset(&l(&[1, 2])));
+        assert!(!l(&[1]).is_subset(&l(&[])));
+        assert!(!l(&[1, 2, 3]).is_subset(&l(&[1, 2])));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = l(&[1, 2, 4]);
+        let b = l(&[2, 3]);
+        assert_eq!(a.union(&b), l(&[1, 2, 3, 4]));
+        assert_eq!(a.intersection(&b), l(&[2]));
+        assert_eq!(a.difference(&b), l(&[1, 4]));
+        assert_eq!(b.difference(&a), l(&[3]));
+    }
+
+    #[test]
+    fn with_without() {
+        let a = l(&[1, 3]);
+        assert_eq!(a.with(Tag::from_raw(2)), l(&[1, 2, 3]));
+        assert_eq!(a.with(Tag::from_raw(1)), a);
+        assert_eq!(a.without(Tag::from_raw(3)), l(&[1]));
+        assert_eq!(a.without(Tag::from_raw(9)), a);
+    }
+
+    #[test]
+    fn disjoint() {
+        assert!(l(&[1, 2]).is_disjoint(&l(&[3, 4])));
+        assert!(!l(&[1, 2]).is_disjoint(&l(&[2, 3])));
+        assert!(l(&[]).is_disjoint(&l(&[1])));
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let a = l(&[2, 4, 6, 8]);
+        assert!(a.contains(Tag::from_raw(6)));
+        assert!(!a.contains(Tag::from_raw(5)));
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", l(&[1, 2])), "{t1,t2}");
+        assert_eq!(format!("{:?}", l(&[])), "{}");
+    }
+}

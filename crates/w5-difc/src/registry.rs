@@ -1,0 +1,205 @@
+//! Tag allocation and the global capability bag.
+//!
+//! The registry is the only piece of shared mutable state in the DIFC layer.
+//! It is owned by the platform (one per provider) and consulted when tags
+//! are created and when the *global bag* `Ô` — capabilities every process
+//! implicitly holds — is needed for a flow check.
+//!
+//! Creating a tag follows the paper's two default policies (§3.1):
+//!
+//! * **export protection**: `t+` goes in the global bag, the creator
+//!   receives `t-` (only they can declassify);
+//! * **write protection**: `t-` goes in the global bag, the creator
+//!   receives `t+` (only they can endorse).
+
+use crate::caps::{CapSet, Capability};
+use crate::tag::{Tag, TagKind};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Metadata recorded for every allocated tag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TagMeta {
+    /// The tag itself.
+    pub tag: Tag,
+    /// Its capability-distribution kind.
+    pub kind: TagKind,
+    /// A human-readable name, e.g. `"export:bob"`. Names are for audit
+    /// logs only and carry no authority.
+    pub name: String,
+}
+
+/// Allocates tags and tracks the global capability bag.
+///
+/// Thread-safe; shared as `Arc<TagRegistry>` between the kernel, the store
+/// and the platform.
+#[derive(Debug, Default)]
+pub struct TagRegistry {
+    next: AtomicU64,
+    meta: RwLock<HashMap<Tag, TagMeta>>,
+    global: RwLock<CapSet>,
+}
+
+impl TagRegistry {
+    /// A fresh registry with no tags.
+    pub fn new() -> TagRegistry {
+        TagRegistry {
+            next: AtomicU64::new(1),
+            meta: RwLock::new(HashMap::new()),
+            global: RwLock::new(CapSet::empty()),
+        }
+    }
+
+    /// Allocate a new tag of the given kind.
+    ///
+    /// Returns the tag and the capabilities the *creator* receives. The
+    /// public half (if any) is added to the global bag as a side effect.
+    pub fn create_tag(&self, kind: TagKind, name: &str) -> (Tag, CapSet) {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        let tag = Tag::from_raw(id);
+        self.meta.write().insert(
+            tag,
+            TagMeta { tag, kind, name: name.to_string() },
+        );
+        let mut creator = CapSet::empty();
+        let mut global = self.global.write();
+        match kind {
+            TagKind::ExportProtect => {
+                global.insert(Capability::plus(tag));
+                creator.insert(Capability::minus(tag));
+            }
+            TagKind::WriteProtect => {
+                global.insert(Capability::minus(tag));
+                creator.insert(Capability::plus(tag));
+            }
+            TagKind::ReadProtect => {
+                creator.insert_ownership(tag);
+            }
+        }
+        (tag, creator)
+    }
+
+    /// Metadata for a tag, if it exists.
+    pub fn meta(&self, tag: Tag) -> Option<TagMeta> {
+        self.meta.read().get(&tag).cloned()
+    }
+
+    /// True if the tag has been allocated by this registry.
+    pub fn exists(&self, tag: Tag) -> bool {
+        self.meta.read().contains_key(&tag)
+    }
+
+    /// Number of allocated tags.
+    pub fn tag_count(&self) -> usize {
+        self.meta.read().len()
+    }
+
+    /// A snapshot of the global bag `Ô`.
+    pub fn global_bag(&self) -> CapSet {
+        self.global.read().clone()
+    }
+
+    /// The *effective* capability set of a process: its private bag plus the
+    /// global bag.
+    pub fn effective(&self, private: &CapSet) -> CapSet {
+        self.global.read().union(private)
+    }
+
+    /// Does the effective set (private ∪ global) contain the capability?
+    pub fn effectively_holds(&self, private: &CapSet, cap: Capability) -> bool {
+        private.contains(cap) || self.global.read().contains(cap)
+    }
+
+    /// Find a tag by its audit name. Linear scan — audit/debug use only.
+    pub fn find_by_name(&self, name: &str) -> Option<Tag> {
+        self.meta
+            .read()
+            .values()
+            .find(|m| m.name == name)
+            .map(|m| m.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_protect_distribution() {
+        let reg = TagRegistry::new();
+        let (t, creator) = reg.create_tag(TagKind::ExportProtect, "export:bob");
+        assert!(reg.global_bag().has_plus(t), "t+ must be public");
+        assert!(!reg.global_bag().has_minus(t), "t- must be private");
+        assert!(creator.has_minus(t), "creator declassifies");
+        assert!(!creator.has_plus(t));
+    }
+
+    #[test]
+    fn write_protect_distribution() {
+        let reg = TagRegistry::new();
+        let (t, creator) = reg.create_tag(TagKind::WriteProtect, "write:bob");
+        assert!(reg.global_bag().has_minus(t));
+        assert!(!reg.global_bag().has_plus(t));
+        assert!(creator.has_plus(t), "creator endorses");
+        assert!(!creator.has_minus(t));
+    }
+
+    #[test]
+    fn read_protect_keeps_both_private() {
+        let reg = TagRegistry::new();
+        let (t, creator) = reg.create_tag(TagKind::ReadProtect, "read:bob");
+        assert!(reg.global_bag().is_empty());
+        assert!(creator.owns(t));
+    }
+
+    #[test]
+    fn tags_are_unique_and_registered() {
+        let reg = TagRegistry::new();
+        let (a, _) = reg.create_tag(TagKind::ExportProtect, "a");
+        let (b, _) = reg.create_tag(TagKind::ExportProtect, "b");
+        assert_ne!(a, b);
+        assert!(reg.exists(a));
+        assert!(reg.exists(b));
+        assert!(!reg.exists(Tag::from_raw(999)));
+        assert_eq!(reg.tag_count(), 2);
+        assert_eq!(reg.meta(a).unwrap().name, "a");
+        assert_eq!(reg.find_by_name("b"), Some(b));
+        assert_eq!(reg.find_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn effective_combines_private_and_global() {
+        let reg = TagRegistry::new();
+        let (t, creator) = reg.create_tag(TagKind::ExportProtect, "x");
+        // Any process, even with an empty private bag, effectively holds t+.
+        assert!(reg.effectively_holds(&CapSet::empty(), Capability::plus(t)));
+        // Only the creator effectively holds t-.
+        assert!(!reg.effectively_holds(&CapSet::empty(), Capability::minus(t)));
+        assert!(reg.effectively_holds(&creator, Capability::minus(t)));
+        let eff = reg.effective(&creator);
+        assert!(eff.owns(t));
+    }
+
+    #[test]
+    fn concurrent_tag_creation_yields_distinct_tags() {
+        use std::sync::Arc;
+        let reg = Arc::new(TagRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                (0..100)
+                    .map(|i| reg.create_tag(TagKind::ExportProtect, &format!("t{i}")).0)
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<Tag> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 800, "no duplicate tags under concurrency");
+    }
+}

@@ -1,0 +1,135 @@
+//! Opaque tag identifiers.
+//!
+//! A [`Tag`] names one category of protected information — in W5, typically
+//! "user `u`'s private data" (export protection) or "data vouched for by
+//! `u`" (write protection). Tags carry no meaning themselves; all semantics
+//! live in which capabilities over the tag are held where (see
+//! [`crate::registry::TagRegistry`]).
+
+use std::fmt;
+use std::num::NonZeroU64;
+
+/// An opaque, globally unique tag identifier.
+///
+/// Tags are small `Copy` values so that label operations never chase
+/// pointers. The zero value is reserved (see [`NonZeroU64`]), which lets
+/// `Option<Tag>` be pointer-width.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Tag(NonZeroU64);
+
+impl Tag {
+    /// Construct a tag from a raw non-zero id.
+    ///
+    /// # Panics
+    /// Panics if `raw` is zero. Use [`Tag::try_from_raw`] for fallible
+    /// construction.
+    pub fn from_raw(raw: u64) -> Tag {
+        Tag(NonZeroU64::new(raw).expect("tag id must be non-zero"))
+    }
+
+    /// Fallible construction from a raw id.
+    pub fn try_from_raw(raw: u64) -> Option<Tag> {
+        NonZeroU64::new(raw).map(Tag)
+    }
+
+    /// The raw 64-bit id.
+    pub fn raw(self) -> u64 {
+        self.0.get()
+    }
+}
+
+impl fmt::Debug for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// What default capability distribution a tag was created with.
+///
+/// The kind is fixed at allocation time and determines which half of the
+/// tag's capability pair enters the global bag (paper §3.1; Flume §3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum TagKind {
+    /// Export protection (secrecy). `t+` is public: anyone may raise their
+    /// secrecy label to read data tagged `t`. `t-` — the right to
+    /// *declassify* — stays with the creator.
+    ExportProtect,
+    /// Write protection (integrity). `t-` is public: anyone may drop the
+    /// integrity claim. `t+` — the right to *endorse* writes — stays with
+    /// the creator.
+    WriteProtect,
+    /// No capability is public; the creator holds both `t+` and `t-`.
+    /// Used for read-protection policies (paper §3.1 "other interesting
+    /// policies"), where even raising one's label to view the data requires
+    /// a grant.
+    ReadProtect,
+}
+
+impl TagKind {
+    /// True if `t+` enters the global bag on creation.
+    pub fn plus_is_public(self) -> bool {
+        matches!(self, TagKind::ExportProtect)
+    }
+
+    /// True if `t-` enters the global bag on creation.
+    pub fn minus_is_public(self) -> bool {
+        matches!(self, TagKind::WriteProtect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        let t = Tag::from_raw(42);
+        assert_eq!(t.raw(), 42);
+        assert_eq!(Tag::try_from_raw(0), None);
+        assert_eq!(Tag::try_from_raw(7).unwrap().raw(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_tag_panics() {
+        let _ = Tag::from_raw(0);
+    }
+
+    #[test]
+    fn option_tag_is_small() {
+        assert_eq!(
+            std::mem::size_of::<Option<Tag>>(),
+            std::mem::size_of::<u64>()
+        );
+    }
+
+    #[test]
+    fn kind_capability_distribution() {
+        assert!(TagKind::ExportProtect.plus_is_public());
+        assert!(!TagKind::ExportProtect.minus_is_public());
+        assert!(TagKind::WriteProtect.minus_is_public());
+        assert!(!TagKind::WriteProtect.plus_is_public());
+        assert!(!TagKind::ReadProtect.plus_is_public());
+        assert!(!TagKind::ReadProtect.minus_is_public());
+    }
+
+    #[test]
+    fn ordering_follows_raw_id() {
+        assert!(Tag::from_raw(1) < Tag::from_raw(2));
+        assert!(Tag::from_raw(100) > Tag::from_raw(99));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let t = Tag::from_raw(5);
+        assert_eq!(format!("{t}"), "t5");
+        assert_eq!(format!("{t:?}"), "t5");
+    }
+}

@@ -1,0 +1,213 @@
+//! Compact binary wire format for labels.
+//!
+//! Labels cross machine boundaries in W5 — between federated providers and
+//! on every persisted object — so they need a stable, compact encoding.
+//! The format is: a varint count, then the tag ids as varint *deltas* in
+//! ascending order (labels are sorted sets, so deltas are small).
+//!
+//! Varints are LEB128 (7 bits per byte, high bit = continuation), the same
+//! scheme protobuf and WebAssembly use.
+
+use crate::label::Label;
+use crate::tag::Tag;
+use crate::LabelPair;
+
+/// Encoding/decoding errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended mid-value.
+    Truncated,
+    /// A varint exceeded 64 bits.
+    Overflow,
+    /// Tag deltas must be strictly positive after the first tag, and the
+    /// first tag must be non-zero.
+    NonCanonical,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated label encoding"),
+            WireError::Overflow => write!(f, "varint overflow in label encoding"),
+            WireError::NonCanonical => write!(f, "non-canonical label encoding"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append a LEB128 varint to `out`.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint from `buf` starting at `*pos`, advancing `*pos`.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(WireError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(WireError::Overflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encode a label into `out`.
+pub fn encode_label(label: &Label, out: &mut Vec<u8>) {
+    put_varint(out, label.len() as u64);
+    let mut prev = 0u64;
+    for t in label.iter() {
+        put_varint(out, t.raw() - prev);
+        prev = t.raw();
+    }
+}
+
+/// Decode a label from `buf` at `*pos`.
+pub fn decode_label(buf: &[u8], pos: &mut usize) -> Result<Label, WireError> {
+    let n = get_varint(buf, pos)?;
+    if n > buf.len() as u64 {
+        // Each tag takes at least one byte; anything larger is garbage and
+        // must not cause a huge allocation.
+        return Err(WireError::Truncated);
+    }
+    let mut v = Vec::with_capacity(n as usize);
+    let mut prev = 0u64;
+    for i in 0..n {
+        let delta = get_varint(buf, pos)?;
+        if delta == 0 && i > 0 {
+            return Err(WireError::NonCanonical);
+        }
+        let raw = prev.checked_add(delta).ok_or(WireError::Overflow)?;
+        let tag = Tag::try_from_raw(raw).ok_or(WireError::NonCanonical)?;
+        v.push(tag);
+        prev = raw;
+    }
+    Ok(Label::from_sorted_vec(v))
+}
+
+/// Encode a label pair (secrecy then integrity).
+pub fn encode_pair(pair: &LabelPair, out: &mut Vec<u8>) {
+    encode_label(&pair.secrecy, out);
+    encode_label(&pair.integrity, out);
+}
+
+/// Decode a label pair.
+pub fn decode_pair(buf: &[u8], pos: &mut usize) -> Result<LabelPair, WireError> {
+    let secrecy = decode_label(buf, pos)?;
+    let integrity = decode_label(buf, pos)?;
+    Ok(LabelPair { secrecy, integrity })
+}
+
+/// Convenience: encode a pair to a fresh buffer.
+pub fn pair_to_bytes(pair: &LabelPair) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 2 * (pair.secrecy.len() + pair.integrity.len()));
+    encode_pair(pair, &mut out);
+    out
+}
+
+/// Convenience: decode a pair from a complete buffer, requiring full
+/// consumption.
+pub fn pair_from_bytes(buf: &[u8]) -> Result<LabelPair, WireError> {
+    let mut pos = 0;
+    let pair = decode_pair(buf, &mut pos)?;
+    if pos != buf.len() {
+        return Err(WireError::NonCanonical);
+    }
+    Ok(pair)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(ids: &[u64]) -> Label {
+        Label::from_iter(ids.iter().map(|&i| Tag::from_raw(i)))
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated() {
+        let mut pos = 0;
+        assert_eq!(get_varint(&[0x80], &mut pos), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn varint_overflow() {
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), Err(WireError::Overflow));
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        for ids in [&[][..], &[1], &[1, 2, 3], &[5, 1000, 1_000_000]] {
+            let lab = l(ids);
+            let mut buf = Vec::new();
+            encode_label(&lab, &mut buf);
+            let mut pos = 0;
+            assert_eq!(decode_label(&buf, &mut pos).unwrap(), lab);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn delta_encoding_is_compact() {
+        // 100 consecutive tags should take ~1 byte each plus the header.
+        let lab = Label::from_iter((1..=100).map(Tag::from_raw));
+        let mut buf = Vec::new();
+        encode_label(&lab, &mut buf);
+        assert!(buf.len() <= 102, "got {} bytes", buf.len());
+    }
+
+    #[test]
+    fn pair_roundtrip_and_full_consumption() {
+        let pair = LabelPair::new(l(&[3, 9]), l(&[7]));
+        let bytes = pair_to_bytes(&pair);
+        assert_eq!(pair_from_bytes(&bytes).unwrap(), pair);
+        // Trailing garbage is rejected.
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert_eq!(pair_from_bytes(&longer), Err(WireError::NonCanonical));
+    }
+
+    #[test]
+    fn zero_first_tag_rejected() {
+        // count=1, delta=0 → tag id 0, invalid.
+        let buf = [1u8, 0u8];
+        let mut pos = 0;
+        assert_eq!(decode_label(&buf, &mut pos), Err(WireError::NonCanonical));
+    }
+
+    #[test]
+    fn huge_count_does_not_allocate() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(decode_label(&buf, &mut pos), Err(WireError::Truncated));
+    }
+}

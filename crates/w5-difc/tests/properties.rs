@@ -1,0 +1,169 @@
+//! Property-based tests for the DIFC core.
+//!
+//! These check the algebraic laws the security argument rests on: label set
+//! algebra, monotonicity of `combine`, soundness of the privileged flow
+//! checks relative to explicit label changes, and wire-format round trips.
+
+use proptest::prelude::*;
+use w5_difc::wire;
+use w5_difc::{can_flow, can_flow_with, safe_change, CapSet, Capability, Label, LabelPair, Tag};
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    proptest::collection::vec(1u64..64, 0..12)
+        .prop_map(|ids| Label::from_iter(ids.into_iter().map(Tag::from_raw)))
+}
+
+fn arb_capset() -> impl Strategy<Value = CapSet> {
+    proptest::collection::vec((1u64..64, any::<bool>()), 0..12).prop_map(|caps| {
+        CapSet::from_caps(caps.into_iter().map(|(id, plus)| {
+            let t = Tag::from_raw(id);
+            if plus {
+                Capability::plus(t)
+            } else {
+                Capability::minus(t)
+            }
+        }))
+    })
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_idempotent(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(a in arb_label(), b in arb_label(), c in arb_label()) {
+        prop_assert_eq!(
+            a.intersection(&b.union(&c)),
+            a.intersection(&b).union(&a.intersection(&c))
+        );
+    }
+
+    #[test]
+    fn difference_and_intersection_partition(a in arb_label(), b in arb_label()) {
+        // a = (a − b) ∪ (a ∩ b), and the parts are disjoint.
+        let diff = a.difference(&b);
+        let inter = a.intersection(&b);
+        prop_assert_eq!(diff.union(&inter), a);
+        prop_assert!(diff.is_disjoint(&inter));
+    }
+
+    #[test]
+    fn subset_iff_union_absorbs(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(a.is_subset(&b), a.union(&b) == b);
+    }
+
+    #[test]
+    fn flow_is_a_preorder(a in arb_label(), b in arb_label(), c in arb_label()) {
+        prop_assert!(can_flow(&a, &a));
+        if can_flow(&a, &b) && can_flow(&b, &c) {
+            prop_assert!(can_flow(&a, &c));
+        }
+    }
+
+    #[test]
+    fn combine_only_increases_secrecy(a in arb_label(), b in arb_label(), ia in arb_label(), ib in arb_label()) {
+        let pa = LabelPair::new(a.clone(), ia.clone());
+        let pb = LabelPair::new(b, ib);
+        let c = pa.combine(&pb);
+        // Secrecy is monotonically non-decreasing, integrity non-increasing.
+        prop_assert!(a.is_subset(&c.secrecy));
+        prop_assert!(c.integrity.is_subset(&ia));
+    }
+
+    #[test]
+    fn safe_change_sound_vs_flow(from in arb_label(), to in arb_label(), caps in arb_capset()) {
+        // If the label change from→to is safe under caps, then a privileged
+        // flow from a source labeled `from` to a sink labeled `to` must also
+        // be allowed when the sender holds `caps` (the change subsumes it).
+        if safe_change(&from, &to, &caps).is_ok() {
+            prop_assert!(can_flow_with(&from, &caps, &to, &CapSet::empty()).is_ok());
+        }
+    }
+
+    #[test]
+    fn unprivileged_flow_equals_raw(a in arb_label(), b in arb_label()) {
+        let empty = CapSet::empty();
+        prop_assert_eq!(can_flow_with(&a, &empty, &b, &empty).is_ok(), can_flow(&a, &b));
+    }
+
+    #[test]
+    fn privileged_flow_monotone_in_caps(a in arb_label(), b in arb_label(), caps in arb_capset(), extra in arb_capset()) {
+        // Adding capabilities can never turn an allowed flow into a denial.
+        if can_flow_with(&a, &caps, &b, &CapSet::empty()).is_ok() {
+            prop_assert!(can_flow_with(&a, &caps.union(&extra), &b, &CapSet::empty()).is_ok());
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip(s in arb_label(), i in arb_label()) {
+        let pair = LabelPair::new(s, i);
+        let bytes = wire::pair_to_bytes(&pair);
+        prop_assert_eq!(wire::pair_from_bytes(&bytes).unwrap(), pair);
+    }
+
+    #[test]
+    fn wire_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Arbitrary bytes must decode or error, never panic or over-allocate.
+        let _ = wire::pair_from_bytes(&bytes);
+    }
+
+    #[test]
+    fn serde_json_roundtrip(s in arb_label(), i in arb_label()) {
+        let pair = LabelPair::new(s, i);
+        let json = serde_json::to_string(&pair).unwrap();
+        let back: LabelPair = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, pair);
+    }
+}
+
+mod endpoint_laws {
+    use super::*;
+    use w5_difc::{Endpoint, TagKind, TagRegistry};
+
+    proptest! {
+        /// An endpoint that mirrors the process labels is always valid and
+        /// passes exactly the data a raw flow check would.
+        #[test]
+        fn mirror_endpoint_equals_raw_flow(s in super::arb_label(), d in super::arb_label()) {
+            let proc_labels = LabelPair::new(s.clone(), Label::empty());
+            let ep = Endpoint::mirror(&proc_labels);
+            let data = LabelPair::new(d.clone(), Label::empty());
+            prop_assert_eq!(ep.may_send(&data).is_ok(), can_flow(&d, &s));
+        }
+
+        /// Endpoint validity is monotone in capabilities: adding caps never
+        /// invalidates an endpoint.
+        #[test]
+        fn endpoint_validity_monotone(
+            s in super::arb_label(),
+            target in super::arb_label(),
+            caps in super::arb_capset(),
+            extra in super::arb_capset(),
+        ) {
+            let proc_labels = LabelPair::new(s, Label::empty());
+            let target_labels = LabelPair::new(target, Label::empty());
+            if Endpoint::new(&proc_labels, &caps, target_labels.clone()).is_ok() {
+                prop_assert!(Endpoint::new(&proc_labels, &caps.union(&extra), target_labels).is_ok());
+            }
+        }
+
+        /// The registry's capability distribution invariants hold for every
+        /// kind: exactly one half is public except ReadProtect (none), and
+        /// the creator always holds the complement.
+        #[test]
+        fn registry_distribution_invariant(kind_ix in 0usize..3) {
+            let kind = [TagKind::ExportProtect, TagKind::WriteProtect, TagKind::ReadProtect][kind_ix];
+            let reg = TagRegistry::new();
+            let (tag, creator) = reg.create_tag(kind, "t");
+            let global = reg.global_bag();
+            // The union of global and creator caps always covers both halves.
+            let eff = reg.effective(&creator);
+            prop_assert!(eff.owns(tag));
+            // And the global bag never holds both halves.
+            prop_assert!(!(global.has_plus(tag) && global.has_minus(tag)));
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Carrier crate for the repository-root `examples/` binaries.
+//!
+//! Run them with, e.g.:
+//!
+//! ```sh
+//! cargo run -p w5-examples --example quickstart
+//! cargo run -p w5-examples --example social_network
+//! cargo run -p w5-examples --example photo_modules
+//! cargo run -p w5-examples --example federation_mirror
+//! cargo run -p w5-examples --example attack_demo
+//! ```

@@ -1,0 +1,107 @@
+//! The import side: pull a linked user's data from a peer provider and
+//! mirror it into the local store under the local account's labels.
+
+use crate::protocol::{ExportBatch, FEDERATION_TOKEN_HEADER};
+use bytes::Bytes;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use w5_net::HttpClient;
+use w5_platform::Platform;
+use w5_store::Subject;
+
+/// A cross-provider account link: "can users 'link' accounts on different
+/// W5 platforms, so that their data is mirrored across provider
+/// boundaries?" (§3.3)
+#[derive(Clone, Debug)]
+pub struct AccountLink {
+    /// Username on the remote provider.
+    pub remote_user: String,
+    /// Username on the local provider.
+    pub local_user: String,
+}
+
+/// What one sync pass did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Files examined in the batch.
+    pub examined: usize,
+    /// Files created locally.
+    pub created: usize,
+    /// Files updated locally.
+    pub updated: usize,
+    /// Files skipped because content was already identical.
+    pub unchanged: usize,
+    /// Bytes received on the wire (payload, after decode).
+    pub bytes: usize,
+}
+
+/// The pulling agent for one local platform.
+pub struct SyncAgent {
+    platform: Arc<Platform>,
+    client: HttpClient,
+    peer_token: String,
+}
+
+impl SyncAgent {
+    /// An agent for `platform`, authenticating with `peer_token`.
+    pub fn new(platform: Arc<Platform>, peer_token: &str) -> SyncAgent {
+        SyncAgent { platform, client: HttpClient::new(), peer_token: peer_token.to_string() }
+    }
+
+    /// Pull `link.remote_user`'s data from the peer at `peer_addr` and
+    /// mirror it into the local account `link.local_user`.
+    pub fn pull(&self, peer_addr: SocketAddr, link: &AccountLink) -> Result<SyncReport, String> {
+        let path = format!("/federation/export?user={}", link.remote_user);
+        let resp = self
+            .client
+            .get_with_headers(peer_addr, &path, &[(FEDERATION_TOKEN_HEADER, &self.peer_token)])
+            .map_err(|e| format!("peer unreachable: {e}"))?;
+        if !resp.status.is_success() {
+            return Err(format!("peer refused: {} {}", resp.status.0, resp.body_string()));
+        }
+        let batch: ExportBatch =
+            serde_json::from_slice(&resp.body).map_err(|e| format!("bad batch: {e}"))?;
+
+        let local = self
+            .platform
+            .accounts
+            .get_by_name(&link.local_user)
+            .ok_or_else(|| format!("no local account {}", link.local_user))?;
+        // The import declassifier writes with the *local* user's authority:
+        // mirrored data gets the local tags, exactly as if the user had
+        // uploaded it here.
+        let subject = Subject::new(
+            w5_difc::LabelPair::public(),
+            self.platform.registry.effective(&local.owner_caps),
+        );
+        let labels = local.data_labels();
+
+        let mut report = SyncReport::default();
+        for record in &batch.records {
+            report.examined += 1;
+            let data = record.data().map_err(|e| format!("bad record: {e}"))?;
+            report.bytes += data.len();
+            match self.platform.fs.read(&subject, &record.path) {
+                Ok((existing, _)) if existing == data => {
+                    report.unchanged += 1;
+                }
+                Ok(_) => {
+                    self.platform
+                        .fs
+                        .write(&subject, &record.path, Bytes::from(data))
+                        .map_err(|e| format!("write {}: {e}", record.path))?;
+                    report.updated += 1;
+                }
+                Err(w5_store::FsError::NotFound) => {
+                    self.platform
+                        .fs
+                        .create(&subject, &record.path, labels.clone(), Bytes::from(data))
+                        .map_err(|e| format!("create {}: {e}", record.path))?;
+                    report.created += 1;
+                }
+                Err(e) => return Err(format!("read {}: {e}", record.path)),
+            }
+        }
+        Ok(report)
+    }
+}

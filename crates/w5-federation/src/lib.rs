@@ -1,0 +1,35 @@
+//! # w5-federation — multiple W5 providers (paper §3.3)
+//!
+//! "One approach is to create import/export declassifiers that synchronize
+//! user data between two W5 providers. If an end-user deemed such
+//! applications trustworthy, it would give its privileges to data transfer
+//! applications on both platforms A and B. Then, whenever the user updated
+//! his data on one platform, the changes would propagate to the other."
+//!
+//! The pieces:
+//!
+//! * [`protocol`] — the wire records (JSON over HTTP).
+//! * [`service::FederationService`] — the *export* side: an HTTP endpoint
+//!   on each provider that serves a user's own-labeled files to an
+//!   authenticated peer, **only if the user granted the
+//!   `federation-export` declassifier**. Data is identified purely by its
+//!   labels (`S = {e_u}`), true to the paper's "agnostic to the structure
+//!   of the data".
+//! * [`agent::SyncAgent`] — the *import* side: pulls from the peer and
+//!   writes each file into the local store under the local account's
+//!   labels, skipping content that is already identical (so bidirectional
+//!   mirroring converges instead of ping-ponging).
+//!
+//! Providers authenticate to each other with a shared peering secret —
+//! the "explicit peering arrangements" the paper sketches.
+
+pub mod agent;
+pub mod protocol;
+pub mod service;
+
+pub use agent::{AccountLink, SyncAgent, SyncReport};
+pub use protocol::{ExportBatch, ExportRecord, FEDERATION_TOKEN_HEADER};
+pub use service::FederationService;
+
+/// The declassifier name users grant to opt into mirroring.
+pub const FEDERATION_DECLASSIFIER: &str = "federation-export";

@@ -1,0 +1,107 @@
+//! Wire records for provider-to-provider sync.
+
+use serde::{Deserialize, Serialize};
+
+/// Header carrying the peering secret.
+pub const FEDERATION_TOKEN_HEADER: &str = "x-w5-peer-token";
+
+/// One exported file.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExportRecord {
+    /// Path on the exporting provider.
+    pub path: String,
+    /// Version on the exporting provider (monotonic per file).
+    pub version: u64,
+    /// File bytes, hex-encoded (JSON-safe without a base64 dependency).
+    pub data_hex: String,
+}
+
+impl ExportRecord {
+    /// Encode raw bytes.
+    pub fn new(path: &str, version: u64, data: &[u8]) -> ExportRecord {
+        ExportRecord {
+            path: path.to_string(),
+            version,
+            data_hex: hex_encode(data),
+        }
+    }
+
+    /// Decode the payload.
+    pub fn data(&self) -> Result<Vec<u8>, String> {
+        hex_decode(&self.data_hex)
+    }
+}
+
+/// A batch of exports for one user.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExportBatch {
+    /// The username on the exporting provider.
+    pub user: String,
+    /// The exporting provider's name.
+    pub provider: String,
+    /// The records.
+    pub records: Vec<ExportRecord>,
+}
+
+/// Lowercase hex encoding.
+pub fn hex_encode(data: &[u8]) -> String {
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Hex decoding.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if s.len() % 2 != 0 {
+        return Err("odd-length hex".to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16).ok_or("bad hex digit")?;
+        let lo = (pair[1] as char).to_digit(16).ok_or("bad hex digit")?;
+        out.push((hi << 4 | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        for data in [&b""[..], b"a", b"hello world", &[0u8, 255, 16]] {
+            assert_eq!(hex_decode(&hex_encode(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn hex_decode_rejects_garbage() {
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    #[test]
+    fn record_roundtrip_via_json() {
+        let r = ExportRecord::new("/photos/bob/cat", 3, b"PIXELS");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExportRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.data().unwrap(), b"PIXELS");
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let b = ExportBatch {
+            user: "bob".into(),
+            provider: "A".into(),
+            records: vec![ExportRecord::new("/x", 1, b"1")],
+        };
+        let json = serde_json::to_string(&b).unwrap();
+        assert_eq!(serde_json::from_str::<ExportBatch>(&json).unwrap(), b);
+    }
+}

@@ -1,0 +1,42 @@
+//! Kernel object identifiers.
+
+use std::fmt;
+
+/// Identifier of a kernel process. Never reused within one kernel instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u64);
+
+impl ProcessId {
+    /// The raw id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", ProcessId(3)), "pid3");
+        assert_eq!(format!("{:?}", ProcessId(3)), "pid3");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(ProcessId(1) < ProcessId(2));
+    }
+}

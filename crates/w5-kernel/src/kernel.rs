@@ -1,0 +1,822 @@
+//! The kernel proper: process table and system-call surface.
+//!
+//! All flow enforcement funnels through here. The platform (`w5-platform`)
+//! is the only trusted caller; applications reach the kernel exclusively
+//! through the platform's API object, which passes their [`ProcessId`]
+//! along so every operation is checked against *their* labels, not the
+//! platform's.
+
+use crate::ids::ProcessId;
+use crate::message::Message;
+use crate::process::{Process, ProcessInfo, ProcessState};
+use crate::resource::{QuotaExceeded, ResourceContainer, ResourceKind, ResourceLimits, ResourceUsage};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use w5_difc::{
+    rules, CapSet, Capability, DifcError, LabelPair, Tag, TagKind, TagRegistry,
+};
+
+/// Errors surfaced by kernel syscalls.
+///
+/// Note that [`Kernel::send`] deliberately does *not* surface
+/// [`KernelError::Difc`] — see the crate docs on covert-channel hygiene.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// The process id is unknown.
+    NoSuchProcess(ProcessId),
+    /// The process has exited.
+    ProcessDead(ProcessId),
+    /// A flow rule refused the operation.
+    Difc(DifcError),
+    /// A resource quota refused the operation.
+    Quota(QuotaExceeded),
+    /// A capability grant included capabilities the granter does not hold.
+    GrantNotHeld,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoSuchProcess(p) => write!(f, "no such process {p}"),
+            KernelError::ProcessDead(p) => write!(f, "process {p} has exited"),
+            KernelError::Difc(e) => write!(f, "flow control: {e}"),
+            KernelError::Quota(e) => write!(f, "resource: {e}"),
+            KernelError::GrantNotHeld => write!(f, "grant includes capabilities not held"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<DifcError> for KernelError {
+    fn from(e: DifcError) -> Self {
+        KernelError::Difc(e)
+    }
+}
+
+impl From<QuotaExceeded> for KernelError {
+    fn from(e: QuotaExceeded) -> Self {
+        KernelError::Quota(e)
+    }
+}
+
+/// Result alias for kernel syscalls.
+pub type KernelResult<T> = Result<T, KernelError>;
+
+/// Outcome of a (non-strict) send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message was queued at the receiver.
+    Delivered,
+    /// The message was silently dropped (flow violation). The *sender* is
+    /// never told which; this value is only observable by trusted code that
+    /// also owns the receiver.
+    Dropped,
+}
+
+/// Parameters for [`Kernel::spawn`].
+#[derive(Clone, Debug)]
+pub struct SpawnSpec {
+    /// Audit name for the child.
+    pub name: String,
+    /// Labels the child starts with. Must be safely reachable from the
+    /// parent's labels given the parent's effective capabilities.
+    pub labels: LabelPair,
+    /// Capabilities granted to the child. Must be a subset of the parent's
+    /// effective capabilities.
+    pub grant: CapSet,
+    /// Resource limits for the child's container.
+    pub limits: ResourceLimits,
+}
+
+/// Flow-decision counters, for the evaluation harnesses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Messages checked for delivery.
+    pub sends_checked: u64,
+    /// Messages dropped by flow rules.
+    pub sends_dropped: u64,
+    /// Label changes attempted.
+    pub label_changes: u64,
+    /// Label changes refused.
+    pub label_changes_denied: u64,
+}
+
+struct Inner {
+    procs: HashMap<ProcessId, Process>,
+    stats: KernelStats,
+}
+
+/// The simulated DIFC kernel. Cheap to share: `Kernel` is `Clone` and all
+/// clones view the same machine.
+#[derive(Clone)]
+pub struct Kernel {
+    registry: Arc<TagRegistry>,
+    inner: Arc<Mutex<Inner>>,
+    next_pid: Arc<AtomicU64>,
+}
+
+impl Kernel {
+    /// A fresh machine sharing the given tag registry.
+    pub fn new(registry: Arc<TagRegistry>) -> Kernel {
+        Kernel {
+            registry,
+            inner: Arc::new(Mutex::new(Inner {
+                procs: HashMap::new(),
+                stats: KernelStats::default(),
+            })),
+            next_pid: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// The shared tag registry.
+    pub fn registry(&self) -> &Arc<TagRegistry> {
+        &self.registry
+    }
+
+    /// Trusted process creation (used by the platform for launchers,
+    /// exporters and app instances). No reachability check: the platform
+    /// decides initial labels per user policy.
+    pub fn create_process(
+        &self,
+        name: &str,
+        labels: LabelPair,
+        caps: CapSet,
+        limits: ResourceLimits,
+    ) -> ProcessId {
+        let id = ProcessId(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        let proc = Process {
+            id,
+            name: name.to_string(),
+            labels,
+            caps,
+            state: ProcessState::Runnable,
+            mailbox: Default::default(),
+            container: ResourceContainer::new(limits),
+            parent: None,
+        };
+        self.inner.lock().procs.insert(id, proc);
+        id
+    }
+
+    /// Spawn a child from an existing process, enforcing Flume's spawn
+    /// rules: child labels must be a safe change away from the parent's,
+    /// and the grant must be covered by the parent's effective caps.
+    pub fn spawn(&self, parent: ProcessId, spec: SpawnSpec) -> KernelResult<ProcessId> {
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get(&parent)
+            .ok_or(KernelError::NoSuchProcess(parent))?;
+        if p.state == ProcessState::Dead {
+            return Err(KernelError::ProcessDead(parent));
+        }
+        let eff = self.registry.effective(&p.caps);
+        rules::safe_change(&p.labels.secrecy, &spec.labels.secrecy, &eff)?;
+        rules::safe_change(&p.labels.integrity, &spec.labels.integrity, &eff)?;
+        if !spec.grant.is_subset(&eff) {
+            return Err(KernelError::GrantNotHeld);
+        }
+        let id = ProcessId(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        let child = Process {
+            id,
+            name: spec.name,
+            labels: spec.labels,
+            caps: spec.grant,
+            state: ProcessState::Runnable,
+            mailbox: Default::default(),
+            container: ResourceContainer::new(spec.limits),
+            parent: Some(parent),
+        };
+        inner.procs.insert(id, child);
+        Ok(id)
+    }
+
+    /// Snapshot of a process's public metadata.
+    pub fn process_info(&self, pid: ProcessId) -> KernelResult<ProcessInfo> {
+        let inner = self.inner.lock();
+        inner
+            .procs
+            .get(&pid)
+            .map(Process::info)
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    /// Current labels of a process.
+    pub fn labels(&self, pid: ProcessId) -> KernelResult<LabelPair> {
+        let inner = self.inner.lock();
+        inner
+            .procs
+            .get(&pid)
+            .map(|p| p.labels.clone())
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    /// The process's *private* capability bag.
+    pub fn caps(&self, pid: ProcessId) -> KernelResult<CapSet> {
+        let inner = self.inner.lock();
+        inner
+            .procs
+            .get(&pid)
+            .map(|p| p.caps.clone())
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    /// The process's effective capability set (private ∪ global bag).
+    pub fn effective_caps(&self, pid: ProcessId) -> KernelResult<CapSet> {
+        let caps = self.caps(pid)?;
+        Ok(self.registry.effective(&caps))
+    }
+
+    /// Create a tag on behalf of a process; the creator capabilities enter
+    /// the process's private bag, and the public half enters the global bag.
+    pub fn create_tag(&self, pid: ProcessId, kind: TagKind, name: &str) -> KernelResult<Tag> {
+        // Allocate outside the process-table lock; the registry has its own.
+        let (tag, creator_caps) = self.registry.create_tag(kind, name);
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        if p.state == ProcessState::Dead {
+            return Err(KernelError::ProcessDead(pid));
+        }
+        p.caps.extend(&creator_caps);
+        Ok(tag)
+    }
+
+    /// Change a process's own labels, subject to the safe-change rule.
+    pub fn change_labels(&self, pid: ProcessId, new: LabelPair) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        inner.stats.label_changes += 1;
+        let registry = Arc::clone(&self.registry);
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        if p.state == ProcessState::Dead {
+            return Err(KernelError::ProcessDead(pid));
+        }
+        let eff = registry.effective(&p.caps);
+        let check = rules::safe_change(&p.labels.secrecy, &new.secrecy, &eff)
+            .and_then(|()| rules::safe_change(&p.labels.integrity, &new.integrity, &eff));
+        match check {
+            Ok(()) => {
+                p.labels = new;
+                Ok(())
+            }
+            Err(e) => {
+                inner.stats.label_changes_denied += 1;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Permanently drop capabilities from a process's private bag
+    /// (privilege shedding before running untrusted code).
+    pub fn drop_caps(&self, pid: ProcessId, caps: &CapSet) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        for c in caps.iter() {
+            p.caps.remove(c);
+        }
+        Ok(())
+    }
+
+    /// Add capabilities to a process's private bag. Trusted (platform)
+    /// entry point, used when a user's policy grants a declassifier
+    /// privileges over the user's tags.
+    pub fn grant_caps(&self, pid: ProcessId, caps: &CapSet) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        p.caps.extend(caps);
+        Ok(())
+    }
+
+    /// Send a message. Delivery is checked against flow rules; on refusal
+    /// the message is **silently dropped** and `Ok(Delivery::Dropped)` is
+    /// returned. Untrusted callers must not branch on the returned value —
+    /// the platform API hides it from applications.
+    pub fn send(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: Bytes,
+        grant: CapSet,
+    ) -> KernelResult<Delivery> {
+        match self.send_strict(from, to, payload, grant) {
+            Ok(()) => Ok(Delivery::Delivered),
+            Err(KernelError::Difc(_)) => Ok(Delivery::Dropped),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Send with the flow decision surfaced. Only trusted components may
+    /// call this; the platform never exposes it to applications.
+    pub fn send_strict(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: Bytes,
+        grant: CapSet,
+    ) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        inner.stats.sends_checked += 1;
+        let registry = Arc::clone(&self.registry);
+
+        // Snapshot sender state.
+        let (s_labels, s_caps) = {
+            let p = inner
+                .procs
+                .get(&from)
+                .ok_or(KernelError::NoSuchProcess(from))?;
+            if p.state == ProcessState::Dead {
+                return Err(KernelError::ProcessDead(from));
+            }
+            (p.labels.clone(), p.caps.clone())
+        };
+        let s_eff = registry.effective(&s_caps);
+        if !grant.is_subset(&s_eff) {
+            return Err(KernelError::GrantNotHeld);
+        }
+
+        // Receiver state.
+        let r_labels = {
+            let p = inner.procs.get(&to).ok_or(KernelError::NoSuchProcess(to))?;
+            if p.state == ProcessState::Dead {
+                return Err(KernelError::ProcessDead(to));
+            }
+            p.labels.clone()
+        };
+
+        // Delivery is checked against the receiver's labels *as they stand*:
+        // a receiver that wants high-secrecy data must raise its label first
+        // (Flume's endpoint discipline). Only the sender's privileges adjust
+        // the comparison — if the receiver's effective `t+` were consulted
+        // here, any process could absorb export-protected data while staying
+        // unlabeled, which is exactly the laundering W5 must prevent.
+        let secrecy_ok = rules::can_flow_with(
+            &s_labels.secrecy,
+            &s_eff,
+            &r_labels.secrecy,
+            &CapSet::empty(),
+        );
+        // Integrity: every claim the receiver holds must be carried or
+        // endorsable by the sender.
+        let integrity_ok = rules::integrity_flow_with(
+            &s_labels.integrity,
+            &s_eff,
+            &r_labels.integrity,
+            &CapSet::empty(),
+        );
+        if let Err(e) = secrecy_ok.and(integrity_ok) {
+            inner.stats.sends_dropped += 1;
+            return Err(e.into());
+        }
+
+        // Charge the sender's network/IPC budget.
+        let size = payload.len() as u64;
+        {
+            let p = inner.procs.get_mut(&from).expect("sender checked above");
+            p.container.charge_network(size)?;
+        }
+        let msg = Message { from, payload, labels: s_labels, grant };
+        let q = inner.procs.get_mut(&to).expect("receiver checked above");
+        q.mailbox.push_back(msg);
+        if q.state == ProcessState::Blocked {
+            q.state = ProcessState::Runnable;
+        }
+        Ok(())
+    }
+
+    /// Dequeue the next message for `pid`, merging any capability grant into
+    /// the receiver's private bag. Returns `None` (and blocks the process)
+    /// when the mailbox is empty.
+    pub fn recv(&self, pid: ProcessId) -> KernelResult<Option<Message>> {
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        if p.state == ProcessState::Dead {
+            return Err(KernelError::ProcessDead(pid));
+        }
+        match p.mailbox.pop_front() {
+            Some(msg) => {
+                p.caps.extend(&msg.grant);
+                Ok(Some(msg))
+            }
+            None => {
+                p.state = ProcessState::Blocked;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Charge a resource against a process's container.
+    pub fn charge(&self, pid: ProcessId, kind: ResourceKind, amount: u64) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        let res = match kind {
+            ResourceKind::Cpu => p.container.charge_cpu(amount),
+            ResourceKind::Memory => p.container.charge_memory(amount),
+            ResourceKind::Disk => p.container.charge_disk(amount),
+            ResourceKind::Network => p.container.charge_network(amount),
+        };
+        res.map_err(Into::into)
+    }
+
+    /// Release previously charged memory.
+    pub fn release_memory(&self, pid: ProcessId, amount: u64) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        p.container.release_memory(amount);
+        Ok(())
+    }
+
+    /// Resource usage snapshot for a process.
+    pub fn usage(&self, pid: ProcessId) -> KernelResult<ResourceUsage> {
+        let inner = self.inner.lock();
+        inner
+            .procs
+            .get(&pid)
+            .map(|p| p.container.usage())
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    /// CPU tokens remaining this epoch for a process.
+    pub fn cpu_tokens(&self, pid: ProcessId) -> KernelResult<u64> {
+        let inner = self.inner.lock();
+        inner
+            .procs
+            .get(&pid)
+            .map(|p| p.container.cpu_tokens())
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    /// Refill every live process's CPU bucket — the scheduler epoch boundary.
+    pub fn refill_epoch(&self) {
+        let mut inner = self.inner.lock();
+        for p in inner.procs.values_mut() {
+            if p.state != ProcessState::Dead {
+                p.container.refill_epoch();
+            }
+        }
+    }
+
+    /// Terminate a process. Its mailbox is discarded and further syscalls
+    /// fail with [`KernelError::ProcessDead`].
+    pub fn exit(&self, pid: ProcessId) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        p.state = ProcessState::Dead;
+        p.mailbox.clear();
+        Ok(())
+    }
+
+    /// Remove a dead process from the table entirely (platform GC).
+    pub fn reap(&self, pid: ProcessId) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        match inner.procs.get(&pid) {
+            Some(p) if p.state == ProcessState::Dead => {
+                inner.procs.remove(&pid);
+                Ok(())
+            }
+            Some(_) => Err(KernelError::ProcessDead(pid)), // still alive: refuse
+            None => Err(KernelError::NoSuchProcess(pid)),
+        }
+    }
+
+    /// Number of live (non-dead) processes.
+    pub fn live_processes(&self) -> usize {
+        self.inner
+            .lock()
+            .procs
+            .values()
+            .filter(|p| p.state != ProcessState::Dead)
+            .count()
+    }
+
+    /// Flow-decision counters.
+    pub fn stats(&self) -> KernelStats {
+        self.inner.lock().stats
+    }
+
+    /// Convenience used throughout the platform: can data labeled `data`
+    /// currently be read by process `pid` (with its effective caps), and if
+    /// so, raise the process's labels accordingly.
+    pub fn taint_for_read(&self, pid: ProcessId, data: &LabelPair) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        let registry = Arc::clone(&self.registry);
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        if p.state == ProcessState::Dead {
+            return Err(KernelError::ProcessDead(pid));
+        }
+        let eff = registry.effective(&p.caps);
+        match rules::labels_for_read(&p.labels, &eff, data) {
+            rules::FlowCheck::Allowed => Ok(()),
+            rules::FlowCheck::AllowedWithChange { new_secrecy, new_integrity } => {
+                p.labels = LabelPair::new(new_secrecy, new_integrity);
+                Ok(())
+            }
+            rules::FlowCheck::Denied(e) => Err(e.into()),
+        }
+    }
+
+    /// Would a write by `pid` to an object labeled `obj` be admissible?
+    pub fn check_write(&self, pid: ProcessId, obj: &LabelPair) -> KernelResult<()> {
+        let inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        let eff = self.registry.effective(&p.caps);
+        match rules::labels_for_write(&p.labels, &eff, obj) {
+            rules::FlowCheck::Denied(e) => Err(e.into()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Does `pid` effectively hold the capability?
+    pub fn holds(&self, pid: ProcessId, cap: Capability) -> KernelResult<bool> {
+        let inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        Ok(self.registry.effectively_holds(&p.caps, cap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use w5_difc::Label;
+
+    fn kernel() -> Kernel {
+        Kernel::new(Arc::new(TagRegistry::new()))
+    }
+
+    fn mk(k: &Kernel, name: &str) -> ProcessId {
+        k.create_process(name, LabelPair::public(), CapSet::empty(), ResourceLimits::unlimited())
+    }
+
+    #[test]
+    fn create_and_info() {
+        let k = kernel();
+        let pid = mk(&k, "a");
+        let info = k.process_info(pid).unwrap();
+        assert_eq!(info.name, "a");
+        assert_eq!(info.state, ProcessState::Runnable);
+        assert_eq!(info.mailbox_len, 0);
+        assert_eq!(k.live_processes(), 1);
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let k = kernel();
+        let a = mk(&k, "a");
+        let b = mk(&k, "b");
+        let d = k.send(a, b, Bytes::from_static(b"hi"), CapSet::empty()).unwrap();
+        assert_eq!(d, Delivery::Delivered);
+        let msg = k.recv(b).unwrap().unwrap();
+        assert_eq!(&msg.payload[..], b"hi");
+        assert_eq!(msg.from, a);
+        // Empty mailbox blocks.
+        assert!(k.recv(b).unwrap().is_none());
+        assert_eq!(k.process_info(b).unwrap().state, ProcessState::Blocked);
+        // A new message unblocks.
+        k.send(a, b, Bytes::from_static(b"x"), CapSet::empty()).unwrap();
+        assert_eq!(k.process_info(b).unwrap().state, ProcessState::Runnable);
+    }
+
+    #[test]
+    fn tainted_sender_is_silently_dropped() {
+        let k = kernel();
+        let a = mk(&k, "tainted");
+        let b = mk(&k, "clean");
+        let e = k.create_tag(a, TagKind::ExportProtect, "export:bob").unwrap();
+        // a raises its secrecy (t+ is global).
+        k.change_labels(a, LabelPair::new(Label::singleton(e), Label::empty()))
+            .unwrap();
+        // a created the tag so it holds e-; drop it to model an untrusted app
+        // that merely read Bob's data.
+        let mut minus = CapSet::empty();
+        minus.insert(Capability::minus(e));
+        k.drop_caps(a, &minus).unwrap();
+
+        let d = k.send(a, b, Bytes::from_static(b"secret"), CapSet::empty()).unwrap();
+        assert_eq!(d, Delivery::Dropped, "flow to unlabeled receiver must drop");
+        assert!(k.recv(b).unwrap().is_none());
+        assert_eq!(k.stats().sends_dropped, 1);
+
+        // Strict variant surfaces the denial (trusted callers only).
+        let err = k
+            .send_strict(a, b, Bytes::from_static(b"secret"), CapSet::empty())
+            .unwrap_err();
+        assert!(matches!(err, KernelError::Difc(DifcError::SecrecyViolation { .. })));
+    }
+
+    #[test]
+    fn receiver_with_plus_accepts_high_secrecy() {
+        let k = kernel();
+        let owner = mk(&k, "owner");
+        let a = mk(&k, "a");
+        let b = mk(&k, "b");
+        let e = k.create_tag(owner, TagKind::ReadProtect, "read:x").unwrap();
+        // a is granted read access (e+) and raises to hold the data; it has
+        // no e-, so it cannot declassify toward unlabeled receivers.
+        let mut aplus = CapSet::empty();
+        aplus.insert(Capability::plus(e));
+        k.grant_caps(a, &aplus).unwrap();
+        k.change_labels(a, LabelPair::new(Label::singleton(e), Label::empty()))
+            .unwrap();
+        // b cannot receive while unlabeled: delivery is checked raw.
+        assert_eq!(
+            k.send(a, b, Bytes::from_static(b"s"), CapSet::empty()).unwrap(),
+            Delivery::Dropped
+        );
+        // b cannot even raise its label: ReadProtect keeps t+ private.
+        let high = LabelPair::new(Label::singleton(e), Label::empty());
+        assert!(k.change_labels(b, high.clone()).is_err());
+        // Grant b the t+, let it raise, and delivery succeeds.
+        let mut plus = CapSet::empty();
+        plus.insert(Capability::plus(e));
+        k.grant_caps(b, &plus).unwrap();
+        k.change_labels(b, high).unwrap();
+        assert_eq!(
+            k.send(a, b, Bytes::from_static(b"s"), CapSet::empty()).unwrap(),
+            Delivery::Delivered
+        );
+    }
+
+    #[test]
+    fn grant_requires_holding() {
+        let k = kernel();
+        let a = mk(&k, "a");
+        let b = mk(&k, "b");
+        let t = Tag::from_raw(1234); // never allocated to a
+        let mut g = CapSet::empty();
+        g.insert(Capability::minus(t));
+        let err = k.send(a, b, Bytes::new(), g).unwrap_err();
+        assert_eq!(err, KernelError::GrantNotHeld);
+    }
+
+    #[test]
+    fn caps_transfer_over_ipc() {
+        let k = kernel();
+        let a = mk(&k, "user");
+        let b = mk(&k, "declassifier");
+        let e = k.create_tag(a, TagKind::ExportProtect, "export:u").unwrap();
+        let mut g = CapSet::empty();
+        g.insert(Capability::minus(e));
+        k.send(a, b, Bytes::from_static(b"here is my export privilege"), g)
+            .unwrap();
+        k.recv(b).unwrap().unwrap();
+        assert!(k.caps(b).unwrap().has_minus(e), "grant merged on recv");
+    }
+
+    #[test]
+    fn spawn_inherits_within_rules() {
+        let k = kernel();
+        let a = mk(&k, "parent");
+        let e = k.create_tag(a, TagKind::ExportProtect, "export:u").unwrap();
+        // Child at S={e}: fine, t+ is global.
+        let child = k
+            .spawn(
+                a,
+                SpawnSpec {
+                    name: "child".into(),
+                    labels: LabelPair::new(Label::singleton(e), Label::empty()),
+                    grant: CapSet::empty(),
+                    limits: ResourceLimits::sandbox_default(),
+                },
+            )
+            .unwrap();
+        assert_eq!(k.process_info(child).unwrap().parent, Some(a));
+
+        // Child granted caps the parent holds: fine.
+        let mut g = CapSet::empty();
+        g.insert(Capability::minus(e));
+        assert!(k
+            .spawn(
+                a,
+                SpawnSpec {
+                    name: "c2".into(),
+                    labels: LabelPair::public(),
+                    grant: g.clone(),
+                    limits: ResourceLimits::unlimited(),
+                }
+            )
+            .is_ok());
+
+        // A *tainted* parent cannot spawn an untainted child without e-.
+        k.change_labels(a, LabelPair::new(Label::singleton(e), Label::empty()))
+            .unwrap();
+        k.drop_caps(a, &g).unwrap();
+        let err = k
+            .spawn(
+                a,
+                SpawnSpec {
+                    name: "laundry".into(),
+                    labels: LabelPair::public(),
+                    grant: CapSet::empty(),
+                    limits: ResourceLimits::unlimited(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, KernelError::Difc(_)), "spawn is not a declassification channel");
+    }
+
+    #[test]
+    fn quotas_enforced_on_send() {
+        let k = kernel();
+        let a = k.create_process(
+            "limited",
+            LabelPair::public(),
+            CapSet::empty(),
+            ResourceLimits { network_bytes: 10, ..ResourceLimits::unlimited() },
+        );
+        let b = mk(&k, "sink");
+        assert!(k.send(a, b, Bytes::from(vec![0u8; 10]), CapSet::empty()).is_ok());
+        let err = k.send(a, b, Bytes::from(vec![0u8; 1]), CapSet::empty()).unwrap_err();
+        assert!(matches!(err, KernelError::Quota(_)), "quota errors are not silent: {err:?}");
+    }
+
+    #[test]
+    fn exit_and_reap() {
+        let k = kernel();
+        let a = mk(&k, "a");
+        let b = mk(&k, "b");
+        k.exit(b).unwrap();
+        assert!(matches!(
+            k.send(a, b, Bytes::new(), CapSet::empty()),
+            Err(KernelError::ProcessDead(_))
+        ));
+        assert!(matches!(k.reap(a), Err(KernelError::ProcessDead(_))), "cannot reap live process");
+        k.reap(b).unwrap();
+        assert!(matches!(
+            k.process_info(b),
+            Err(KernelError::NoSuchProcess(_))
+        ));
+        assert_eq!(k.live_processes(), 1);
+    }
+
+    #[test]
+    fn taint_for_read_and_check_write() {
+        let k = kernel();
+        let app = mk(&k, "app");
+        let owner = mk(&k, "owner");
+        let e = k.create_tag(owner, TagKind::ExportProtect, "export:o").unwrap();
+        let data = LabelPair::new(Label::singleton(e), Label::empty());
+
+        // Reading taints.
+        k.taint_for_read(app, &data).unwrap();
+        assert_eq!(k.labels(app).unwrap().secrecy, Label::singleton(e));
+        // Tainted app cannot write public objects.
+        assert!(k.check_write(app, &LabelPair::public()).is_err());
+        // But can write objects at the same secrecy.
+        assert!(k.check_write(app, &data).is_ok());
+        // The owner (holding e-) can write public objects even after reading.
+        k.taint_for_read(owner, &data).unwrap();
+        assert!(k.check_write(owner, &LabelPair::public()).is_ok());
+    }
+
+    #[test]
+    fn epoch_refill() {
+        let k = kernel();
+        let a = k.create_process(
+            "cpu-bound",
+            LabelPair::public(),
+            CapSet::empty(),
+            ResourceLimits { cpu_per_epoch: 5, ..ResourceLimits::unlimited() },
+        );
+        k.charge(a, ResourceKind::Cpu, 5).unwrap();
+        assert!(k.charge(a, ResourceKind::Cpu, 1).is_err());
+        k.refill_epoch();
+        assert!(k.charge(a, ResourceKind::Cpu, 1).is_ok());
+        assert_eq!(k.cpu_tokens(a).unwrap(), 4);
+    }
+}

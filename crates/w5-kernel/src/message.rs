@@ -1,0 +1,47 @@
+//! IPC messages.
+
+use crate::ids::ProcessId;
+use bytes::Bytes;
+use w5_difc::{CapSet, LabelPair};
+
+/// A message queued in a process mailbox.
+///
+/// Messages carry the *labels of the data they contain* (stamped by the
+/// kernel from the sender's labels at send time, so senders cannot
+/// under-declare), plus an optional capability grant: Flume lets processes
+/// pass capabilities over IPC, which is how W5 users hand `e_u-` to the
+/// declassifiers they adopt.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// The sending process.
+    pub from: ProcessId,
+    /// Opaque payload bytes (cheaply clonable).
+    pub payload: Bytes,
+    /// Labels the payload carries.
+    pub labels: LabelPair,
+    /// Capabilities granted to the receiver upon delivery.
+    pub grant: CapSet,
+}
+
+impl Message {
+    /// Payload size in bytes, used for resource accounting.
+    pub fn size(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_reflects_payload() {
+        let m = Message {
+            from: ProcessId(1),
+            payload: Bytes::from_static(b"hello"),
+            labels: LabelPair::public(),
+            grant: CapSet::empty(),
+        };
+        assert_eq!(m.size(), 5);
+    }
+}

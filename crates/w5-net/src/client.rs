@@ -1,0 +1,183 @@
+//! A small blocking HTTP client.
+//!
+//! Used by the experiment harnesses (driving the platform the way a
+//! browser would) and by federation (provider-to-provider sync). Supports
+//! one-shot requests and persistent keep-alive connections.
+
+use crate::http::{buf_reader, HttpError, Limits, Method, Request, Response};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client configuration + convenience methods.
+#[derive(Clone, Debug)]
+pub struct HttpClient {
+    limits: Limits,
+    timeout: Duration,
+}
+
+impl Default for HttpClient {
+    fn default() -> Self {
+        HttpClient::new()
+    }
+}
+
+impl HttpClient {
+    /// A client with default limits and a 10-second timeout.
+    pub fn new() -> HttpClient {
+        HttpClient { limits: Limits::default(), timeout: Duration::from_secs(10) }
+    }
+
+    /// Override the IO timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> HttpClient {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Open a persistent connection.
+    pub fn connect(&self, addr: SocketAddr) -> Result<Connection, HttpError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true).ok();
+        let write_half = stream.try_clone()?;
+        Ok(Connection {
+            reader: buf_reader(stream),
+            writer: write_half,
+            limits: self.limits,
+        })
+    }
+
+    /// One-shot GET.
+    pub fn get(&self, addr: SocketAddr, path: &str) -> Result<Response, HttpError> {
+        self.request(addr, &build(Method::Get, path, None, Bytes::new(), &[]))
+    }
+
+    /// One-shot GET with extra headers (e.g. a session cookie).
+    pub fn get_with_headers(
+        &self,
+        addr: SocketAddr,
+        path: &str,
+        headers: &[(&str, &str)],
+    ) -> Result<Response, HttpError> {
+        self.request(addr, &build(Method::Get, path, None, Bytes::new(), headers))
+    }
+
+    /// One-shot POST.
+    pub fn post(
+        &self,
+        addr: SocketAddr,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<Response, HttpError> {
+        self.request(
+            addr,
+            &build(
+                Method::Post,
+                path,
+                Some(content_type),
+                Bytes::copy_from_slice(body),
+                &[],
+            ),
+        )
+    }
+
+    /// One-shot POST with extra headers.
+    pub fn post_with_headers(
+        &self,
+        addr: SocketAddr,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+        headers: &[(&str, &str)],
+    ) -> Result<Response, HttpError> {
+        self.request(
+            addr,
+            &build(
+                Method::Post,
+                path,
+                Some(content_type),
+                Bytes::copy_from_slice(body),
+                headers,
+            ),
+        )
+    }
+
+    /// Send an arbitrary request on a fresh connection.
+    pub fn request(&self, addr: SocketAddr, request: &Request) -> Result<Response, HttpError> {
+        let mut conn = self.connect(addr)?;
+        conn.request(request)
+    }
+}
+
+fn build(
+    method: Method,
+    path_and_query: &str,
+    content_type: Option<&str>,
+    body: Bytes,
+    headers: &[(&str, &str)],
+) -> Request {
+    let (path, query_raw) = match path_and_query.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (path_and_query.to_string(), String::new()),
+    };
+    let mut hs = BTreeMap::new();
+    if let Some(ct) = content_type {
+        hs.insert("content-type".to_string(), ct.to_string());
+    }
+    for (k, v) in headers {
+        hs.insert(k.to_ascii_lowercase(), v.to_string());
+    }
+    Request { method, path, query_raw, headers: hs, body }
+}
+
+/// A persistent keep-alive connection.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    limits: Limits,
+}
+
+impl Connection {
+    /// Send one request and read its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, HttpError> {
+        request.write_to(&mut self.writer)?;
+        Response::read_from(&mut self.reader, &self.limits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_splits_query() {
+        let r = build(Method::Get, "/a/b?x=1&y=2", None, Bytes::new(), &[]);
+        assert_eq!(r.path, "/a/b");
+        assert_eq!(r.query_raw, "x=1&y=2");
+    }
+
+    #[test]
+    fn build_sets_headers() {
+        let r = build(
+            Method::Post,
+            "/p",
+            Some("application/json"),
+            Bytes::from_static(b"{}"),
+            &[("Cookie", "sid=1")],
+        );
+        assert_eq!(r.header("content-type"), Some("application/json"));
+        assert_eq!(r.header("cookie"), Some("sid=1"));
+    }
+
+    #[test]
+    fn connect_refused_is_io_error() {
+        // Port 1 on localhost is essentially never listening.
+        let c = HttpClient::new().with_timeout(Duration::from_millis(200));
+        let err = c.get("127.0.0.1:1".parse().unwrap(), "/").unwrap_err();
+        assert!(matches!(err, HttpError::Io(_)));
+    }
+}

@@ -1,0 +1,132 @@
+//! Cookie parsing and generation.
+//!
+//! The platform authenticates users from cookies (paper §2: "the provider
+//! would read incoming cookies or HTTP data fields to authenticate the
+//! user"), so this module is part of the trusted base and is kept minimal:
+//! name/value pairs on the way in, `Set-Cookie` with the security
+//! attributes the platform needs on the way out.
+
+use std::fmt;
+
+/// A cookie received from a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+}
+
+/// Parse a `Cookie:` header into pairs. Malformed fragments are skipped —
+/// lenient in, strict out.
+pub fn parse_cookie_header(raw: &str) -> Vec<Cookie> {
+    raw.split(';')
+        .filter_map(|part| {
+            let (name, value) = part.split_once('=')?;
+            let name = name.trim();
+            if name.is_empty() {
+                return None;
+            }
+            Some(Cookie { name: name.to_string(), value: value.trim().to_string() })
+        })
+        .collect()
+}
+
+/// A `Set-Cookie` header under construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SetCookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// `Max-Age` in seconds; `None` = session cookie.
+    pub max_age: Option<u64>,
+    /// `HttpOnly` flag.
+    pub http_only: bool,
+    /// `Path` attribute.
+    pub path: String,
+}
+
+impl SetCookie {
+    /// A session cookie (HttpOnly, path=/): the platform's default for
+    /// authentication tokens.
+    pub fn session(name: &str, value: &str) -> SetCookie {
+        SetCookie {
+            name: name.to_string(),
+            value: value.to_string(),
+            max_age: None,
+            http_only: true,
+            path: "/".to_string(),
+        }
+    }
+
+    /// A deletion cookie (Max-Age=0).
+    pub fn delete(name: &str) -> SetCookie {
+        SetCookie {
+            name: name.to_string(),
+            value: String::new(),
+            max_age: Some(0),
+            http_only: true,
+            path: "/".to_string(),
+        }
+    }
+
+    /// Render the header value.
+    pub fn to_header_value(&self) -> String {
+        let mut s = format!("{}={}", self.name, self.value);
+        s.push_str(&format!("; Path={}", self.path));
+        if let Some(age) = self.max_age {
+            s.push_str(&format!("; Max-Age={age}"));
+        }
+        if self.http_only {
+            s.push_str("; HttpOnly");
+        }
+        s
+    }
+}
+
+impl fmt::Display for SetCookie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_header_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let cs = parse_cookie_header("sid=abc123; theme=dark");
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0], Cookie { name: "sid".into(), value: "abc123".into() });
+        assert_eq!(cs[1], Cookie { name: "theme".into(), value: "dark".into() });
+    }
+
+    #[test]
+    fn parse_skips_malformed() {
+        let cs = parse_cookie_header("good=1; noequals; =novalue; also=2");
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].name, "good");
+        assert_eq!(cs[1].name, "also");
+    }
+
+    #[test]
+    fn parse_empty_value() {
+        let cs = parse_cookie_header("empty=");
+        assert_eq!(cs, vec![Cookie { name: "empty".into(), value: String::new() }]);
+    }
+
+    #[test]
+    fn session_cookie_renders_securely() {
+        let sc = SetCookie::session("w5_session", "tok");
+        let v = sc.to_header_value();
+        assert_eq!(v, "w5_session=tok; Path=/; HttpOnly");
+    }
+
+    #[test]
+    fn delete_cookie() {
+        let v = SetCookie::delete("w5_session").to_header_value();
+        assert!(v.contains("Max-Age=0"), "{v}");
+    }
+}

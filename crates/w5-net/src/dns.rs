@@ -1,0 +1,450 @@
+//! The DNS front end (paper §2: "all of W5 should have DNS and HTTP
+//! front-ends so that users can interact with a W5 application with
+//! today's Web clients").
+//!
+//! A minimal authoritative DNS server for the provider's zone: every
+//! hosted application gets a name (`photos.devA.w5.example`) resolving to
+//! the provider's address, so ordinary browsers reach the gateway. The
+//! wire format implementation covers what an authoritative A-record
+//! server needs: header, question parsing (with compression-pointer
+//! *rejection* on input names — questions never need them), A answers,
+//! NXDOMAIN and FORMERR responses.
+//!
+//! UDP only, one response per query, no recursion (RA=0) — the shape of a
+//! tiny authoritative server, with every peer-controlled length checked.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// DNS wire-format errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DnsError {
+    /// Packet too short / truncated name.
+    Truncated,
+    /// Malformed name or unsupported construct.
+    Malformed(&'static str),
+}
+
+/// Query/record types we understand.
+pub const TYPE_A: u16 = 1;
+/// The Internet class.
+pub const CLASS_IN: u16 = 1;
+
+/// A parsed question.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Question {
+    /// Lowercased dotted name, without trailing dot.
+    pub name: String,
+    /// QTYPE.
+    pub qtype: u16,
+    /// QCLASS.
+    pub qclass: u16,
+}
+
+/// Parse the name at `*pos`. Compression pointers are rejected (queries
+/// never require them; accepting them in input is a classic DoS vector).
+fn parse_name(buf: &[u8], pos: &mut usize) -> Result<String, DnsError> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let len = *buf.get(*pos).ok_or(DnsError::Truncated)? as usize;
+        *pos += 1;
+        if len == 0 {
+            break;
+        }
+        if len & 0xc0 != 0 {
+            return Err(DnsError::Malformed("compression pointer in question"));
+        }
+        if len > 63 {
+            return Err(DnsError::Malformed("label too long"));
+        }
+        total += len + 1;
+        if total > 255 {
+            return Err(DnsError::Malformed("name too long"));
+        }
+        let end = *pos + len;
+        let label = buf.get(*pos..end).ok_or(DnsError::Truncated)?;
+        if !label.iter().all(|&b| b.is_ascii_graphic()) {
+            return Err(DnsError::Malformed("non-printable label"));
+        }
+        labels.push(String::from_utf8_lossy(label).to_ascii_lowercase());
+        *pos = end;
+    }
+    Ok(labels.join("."))
+}
+
+/// Append a name in wire format.
+fn write_name(out: &mut Vec<u8>, name: &str) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        let bytes = label.as_bytes();
+        out.push(bytes.len().min(63) as u8);
+        out.extend_from_slice(&bytes[..bytes.len().min(63)]);
+    }
+    out.push(0);
+}
+
+fn get_u16(buf: &[u8], pos: usize) -> Result<u16, DnsError> {
+    let b = buf.get(pos..pos + 2).ok_or(DnsError::Truncated)?;
+    Ok(u16::from_be_bytes([b[0], b[1]]))
+}
+
+/// Parse a query packet: returns (id, question).
+pub fn parse_query(buf: &[u8]) -> Result<(u16, Question), DnsError> {
+    if buf.len() < 12 {
+        return Err(DnsError::Truncated);
+    }
+    let id = get_u16(buf, 0)?;
+    let flags = get_u16(buf, 2)?;
+    if flags & 0x8000 != 0 {
+        return Err(DnsError::Malformed("QR set on a query"));
+    }
+    let qdcount = get_u16(buf, 4)?;
+    if qdcount != 1 {
+        return Err(DnsError::Malformed("expected exactly one question"));
+    }
+    let mut pos = 12;
+    let name = parse_name(buf, &mut pos)?;
+    let qtype = get_u16(buf, pos)?;
+    let qclass = get_u16(buf, pos + 2)?;
+    Ok((id, Question { name, qtype, qclass }))
+}
+
+/// Build a query packet (client side / tests).
+pub fn build_query(id: u16, name: &str, qtype: u16) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + name.len());
+    out.extend_from_slice(&id.to_be_bytes());
+    out.extend_from_slice(&0x0100u16.to_be_bytes()); // RD (ignored by us)
+    out.extend_from_slice(&1u16.to_be_bytes()); // QDCOUNT
+    out.extend_from_slice(&[0; 6]); // AN/NS/AR
+    write_name(&mut out, name);
+    out.extend_from_slice(&qtype.to_be_bytes());
+    out.extend_from_slice(&CLASS_IN.to_be_bytes());
+    out
+}
+
+/// Response codes we emit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rcode {
+    /// Success, with answers.
+    NoError = 0,
+    /// Malformed query.
+    FormErr = 1,
+    /// Name not in our zone data.
+    NxDomain = 3,
+}
+
+/// Build a response to a (possibly absent) question.
+pub fn build_response(
+    id: u16,
+    question: Option<&Question>,
+    answers: &[Ipv4Addr],
+    rcode: Rcode,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&id.to_be_bytes());
+    // QR=1, AA=1, RA=0, RCODE.
+    let flags: u16 = 0x8400 | rcode as u16;
+    out.extend_from_slice(&flags.to_be_bytes());
+    out.extend_from_slice(&(question.is_some() as u16).to_be_bytes());
+    out.extend_from_slice(&(answers.len() as u16).to_be_bytes());
+    out.extend_from_slice(&[0; 4]); // NS/AR
+    if let Some(q) = question {
+        write_name(&mut out, &q.name);
+        out.extend_from_slice(&q.qtype.to_be_bytes());
+        out.extend_from_slice(&q.qclass.to_be_bytes());
+        for ip in answers {
+            write_name(&mut out, &q.name);
+            out.extend_from_slice(&TYPE_A.to_be_bytes());
+            out.extend_from_slice(&CLASS_IN.to_be_bytes());
+            out.extend_from_slice(&60u32.to_be_bytes()); // TTL
+            out.extend_from_slice(&4u16.to_be_bytes());
+            out.extend_from_slice(&ip.octets());
+        }
+    }
+    out
+}
+
+/// Parse a response (client side / tests): (id, rcode, answer IPs).
+pub fn parse_response(buf: &[u8]) -> Result<(u16, u8, Vec<Ipv4Addr>), DnsError> {
+    if buf.len() < 12 {
+        return Err(DnsError::Truncated);
+    }
+    let id = get_u16(buf, 0)?;
+    let flags = get_u16(buf, 2)?;
+    let rcode = (flags & 0xf) as u8;
+    let qdcount = get_u16(buf, 4)?;
+    let ancount = get_u16(buf, 6)?;
+    let mut pos = 12;
+    for _ in 0..qdcount {
+        let _ = parse_name(buf, &mut pos)?;
+        pos += 4;
+    }
+    let mut ips = Vec::new();
+    for _ in 0..ancount {
+        let _ = parse_name(buf, &mut pos)?;
+        let rtype = get_u16(buf, pos)?;
+        pos += 8; // type, class, ttl
+        let rdlen = get_u16(buf, pos)? as usize;
+        pos += 2;
+        let rdata = buf.get(pos..pos + rdlen).ok_or(DnsError::Truncated)?;
+        if rtype == TYPE_A && rdlen == 4 {
+            ips.push(Ipv4Addr::new(rdata[0], rdata[1], rdata[2], rdata[3]));
+        }
+        pos += rdlen;
+    }
+    Ok((id, rcode, ips))
+}
+
+/// The provider's authoritative zone: name → address.
+#[derive(Default)]
+pub struct Zone {
+    records: RwLock<HashMap<String, Ipv4Addr>>,
+}
+
+impl Zone {
+    /// An empty zone.
+    pub fn new() -> Zone {
+        Zone::default()
+    }
+
+    /// Add/replace an A record (name is lowercased).
+    pub fn insert(&self, name: &str, ip: Ipv4Addr) {
+        self.records.write().insert(name.to_ascii_lowercase(), ip);
+    }
+
+    /// Look up a name.
+    pub fn lookup(&self, name: &str) -> Option<Ipv4Addr> {
+        self.records.read().get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Populate `"<app>.<dev>.<zone>"` records for every app of a platform
+    /// catalog, all pointing at the gateway address.
+    pub fn publish_apps<'a, I: IntoIterator<Item = &'a str>>(
+        &self,
+        app_keys: I,
+        zone_suffix: &str,
+        gateway: Ipv4Addr,
+    ) {
+        for key in app_keys {
+            if let Some((dev, app)) = key.split_once('/') {
+                self.insert(&format!("{app}.{dev}.{zone_suffix}"), gateway);
+            }
+        }
+        self.insert(zone_suffix, gateway);
+    }
+
+    /// Record count.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// True if the zone holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+}
+
+/// A running DNS server.
+pub struct DnsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: parking_lot::Mutex<Option<JoinHandle<()>>>,
+    queries: Arc<AtomicU64>,
+}
+
+impl DnsServer {
+    /// Bind a UDP socket (use port 0 to let the OS choose) and serve the
+    /// zone on a background thread.
+    pub fn start(addr: &str, zone: Arc<Zone>) -> std::io::Result<DnsServer> {
+        let socket = UdpSocket::bind(addr)?;
+        let local = socket.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queries = Arc::new(AtomicU64::new(0));
+
+        let t_stop = Arc::clone(&stop);
+        let t_queries = Arc::clone(&queries);
+        let thread = std::thread::Builder::new()
+            .name("w5-dns".into())
+            .spawn(move || {
+                let mut buf = [0u8; 512];
+                loop {
+                    let (n, peer) = match socket.recv_from(&mut buf) {
+                        Ok(x) => x,
+                        Err(_) => continue,
+                    };
+                    if t_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    t_queries.fetch_add(1, Ordering::Relaxed);
+                    let reply = match parse_query(&buf[..n]) {
+                        Err(_) => build_response(
+                            if n >= 2 { u16::from_be_bytes([buf[0], buf[1]]) } else { 0 },
+                            None,
+                            &[],
+                            Rcode::FormErr,
+                        ),
+                        Ok((id, q)) => {
+                            if q.qtype != TYPE_A || q.qclass != CLASS_IN {
+                                build_response(id, Some(&q), &[], Rcode::NoError)
+                            } else {
+                                match zone.lookup(&q.name) {
+                                    Some(ip) => build_response(id, Some(&q), &[ip], Rcode::NoError),
+                                    None => build_response(id, Some(&q), &[], Rcode::NxDomain),
+                                }
+                            }
+                        }
+                    };
+                    let _ = socket.send_to(&reply, peer);
+                }
+            })?;
+
+        Ok(DnsServer {
+            addr: local,
+            stop,
+            thread: parking_lot::Mutex::new(Some(thread)),
+            queries,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queries served so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Stop the server and join its thread.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking recv with a dummy packet.
+        if let Ok(s) = UdpSocket::bind("127.0.0.1:0") {
+            let _ = s.send_to(&[0u8; 12], self.addr);
+        }
+        if let Some(h) = self.thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One-shot A lookup against a specific server (client side / tests).
+pub fn resolve(server: SocketAddr, name: &str) -> std::io::Result<Option<Vec<Ipv4Addr>>> {
+    let socket = UdpSocket::bind("127.0.0.1:0")?;
+    socket.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    let id = (std::process::id() as u16) ^ 0x55aa;
+    socket.send_to(&build_query(id, name, TYPE_A), server)?;
+    let mut buf = [0u8; 512];
+    let (n, _) = socket.recv_from(&mut buf)?;
+    match parse_response(&buf[..n]) {
+        Ok((rid, rcode, ips)) if rid == id => {
+            if rcode == Rcode::NxDomain as u8 {
+                Ok(None)
+            } else {
+                Ok(Some(ips))
+            }
+        }
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let q = build_query(0x1234, "photos.devA.w5.example", TYPE_A);
+        let (id, question) = parse_query(&q).unwrap();
+        assert_eq!(id, 0x1234);
+        assert_eq!(question.name, "photos.deva.w5.example", "names lowercase");
+        assert_eq!(question.qtype, TYPE_A);
+        assert_eq!(question.qclass, CLASS_IN);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let q = Question { name: "a.b".into(), qtype: TYPE_A, qclass: CLASS_IN };
+        let ip = Ipv4Addr::new(10, 1, 2, 3);
+        let r = build_response(7, Some(&q), &[ip], Rcode::NoError);
+        let (id, rcode, ips) = parse_response(&r).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(rcode, 0);
+        assert_eq!(ips, vec![ip]);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert_eq!(parse_query(&[]), Err(DnsError::Truncated));
+        assert_eq!(parse_query(&[0u8; 11]), Err(DnsError::Truncated));
+        // A response is not a query.
+        let q = Question { name: "x".into(), qtype: TYPE_A, qclass: CLASS_IN };
+        let resp = build_response(1, Some(&q), &[], Rcode::NoError);
+        assert!(matches!(parse_query(&resp), Err(DnsError::Malformed(_))));
+        // Compression pointer in the question.
+        let mut evil = build_query(1, "x", TYPE_A);
+        evil[12] = 0xc0;
+        assert!(matches!(parse_query(&evil), Err(DnsError::Malformed(_))));
+        // Two questions.
+        let mut two = build_query(1, "x", TYPE_A);
+        two[5] = 2;
+        assert!(matches!(parse_query(&two), Err(DnsError::Malformed(_))));
+    }
+
+    #[test]
+    fn name_length_limits() {
+        let long_label = "a".repeat(64);
+        let mut buf = vec![0u8; 12];
+        buf[5] = 1; // QDCOUNT
+        buf.push(64);
+        buf.extend_from_slice(long_label.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&[0, 1, 0, 1]);
+        assert!(matches!(parse_query(&buf), Err(DnsError::Malformed(_))));
+    }
+
+    #[test]
+    fn zone_publishing() {
+        let zone = Zone::new();
+        assert!(zone.is_empty());
+        zone.publish_apps(
+            ["devA/photos", "devB/blog"],
+            "w5.example",
+            Ipv4Addr::new(127, 0, 0, 1),
+        );
+        assert_eq!(zone.len(), 3); // two apps + apex
+        assert_eq!(zone.lookup("photos.deva.w5.example"), Some(Ipv4Addr::new(127, 0, 0, 1)));
+        assert_eq!(zone.lookup("PHOTOS.DEVA.W5.EXAMPLE"), Some(Ipv4Addr::new(127, 0, 0, 1)));
+        assert_eq!(zone.lookup("w5.example"), Some(Ipv4Addr::new(127, 0, 0, 1)));
+        assert_eq!(zone.lookup("ghost.w5.example"), None);
+    }
+
+    #[test]
+    fn server_answers_over_udp() {
+        let zone = Arc::new(Zone::new());
+        zone.insert("photos.deva.w5.example", Ipv4Addr::new(10, 0, 0, 42));
+        let server = DnsServer::start("127.0.0.1:0", Arc::clone(&zone)).unwrap();
+
+        // Hit.
+        let ips = resolve(server.addr(), "photos.devA.w5.example").unwrap().unwrap();
+        assert_eq!(ips, vec![Ipv4Addr::new(10, 0, 0, 42)]);
+        // Miss → NXDOMAIN.
+        assert_eq!(resolve(server.addr(), "nope.w5.example").unwrap(), None);
+        // Garbage → FORMERR, server stays alive.
+        let s = UdpSocket::bind("127.0.0.1:0").unwrap();
+        s.send_to(b"garbage", server.addr()).unwrap();
+        let ips = resolve(server.addr(), "photos.deva.w5.example").unwrap().unwrap();
+        assert_eq!(ips.len(), 1);
+        assert!(server.queries_served() >= 3);
+
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+}

@@ -1,0 +1,149 @@
+//! Percent-encoding, query strings and form bodies.
+
+/// Percent-encode a string for use in a URL component. Unreserved
+/// characters (RFC 3986 §2.3) pass through; everything else is `%XX`.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push(hex_digit(b >> 4));
+                out.push(hex_digit(b & 0xf));
+            }
+        }
+    }
+    out
+}
+
+/// Decode a percent-encoded string. `+` decodes to space (form semantics).
+/// Invalid escapes are passed through literally rather than erroring —
+/// lenient parsing, strict generation.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() + 1 => {
+                match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                    (Some(h), Some(l)) => {
+                        out.push(h << 4 | l);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_digit(v: u8) -> char {
+    char::from_digit(v as u32, 16).unwrap().to_ascii_uppercase()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    b.and_then(|&b| (b as char).to_digit(16)).map(|d| d as u8)
+}
+
+/// Parse a query string (or form body) into key/value pairs, decoding both
+/// sides. Order is preserved; duplicate keys are kept.
+pub fn parse_query(qs: &str) -> Vec<(String, String)> {
+    qs.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Serialize key/value pairs as a query string / form body.
+pub fn encode_query<'a, I: IntoIterator<Item = (&'a str, &'a str)>>(pairs: I) -> String {
+    let mut out = String::new();
+    for (k, v) in pairs {
+        if !out.is_empty() {
+            out.push('&');
+        }
+        out.push_str(&percent_encode(k));
+        out.push('=');
+        out.push_str(&percent_encode(v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_unreserved_passthrough() {
+        assert_eq!(percent_encode("AZaz09-_.~"), "AZaz09-_.~");
+    }
+
+    #[test]
+    fn encode_special() {
+        assert_eq!(percent_encode("a b&c=d"), "a%20b%26c%3Dd");
+        assert_eq!(percent_encode("héllo"), "h%C3%A9llo");
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        for s in ["hello world", "a&b=c", "héllo✓", "100%", ""] {
+            assert_eq!(percent_decode(&percent_encode(s)), s);
+        }
+    }
+
+    #[test]
+    fn decode_plus_and_invalid_escapes() {
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%4"), "%4");
+    }
+
+    #[test]
+    fn query_parsing() {
+        let q = parse_query("a=1&b=two+words&c&=empty&d=%26");
+        assert_eq!(
+            q,
+            vec![
+                ("a".to_string(), "1".to_string()),
+                ("b".to_string(), "two words".to_string()),
+                ("c".to_string(), String::new()),
+                (String::new(), "empty".to_string()),
+                ("d".to_string(), "&".to_string()),
+            ]
+        );
+        assert!(parse_query("").is_empty());
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let pairs = [("user", "bob smith"), ("q", "a&b=c"), ("empty", "")];
+        let s = encode_query(pairs.iter().map(|&(k, v)| (k, v)));
+        let parsed = parse_query(&s);
+        assert_eq!(
+            parsed,
+            pairs
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # w5-net — the HTTP/1.1 front end
+//!
+//! W5's contract with the outside world (paper §2): "all of W5 should have
+//! DNS and HTTP front-ends so that users can interact with a W5 application
+//! with today's Web clients." This crate is that front end, written from
+//! scratch on `std::net`:
+//!
+//! * [`http`] — request/response types and a careful, limit-enforcing
+//!   HTTP/1.1 parser (request line, headers, `Content-Length` and chunked
+//!   bodies, keep-alive).
+//! * [`encoding`] — percent-encoding, query strings and
+//!   `application/x-www-form-urlencoded` forms.
+//! * [`cookie`] — cookie parsing and `Set-Cookie` serialization (the
+//!   platform authenticates users from cookies, §2).
+//! * [`router`] — a small path router with `:param` captures.
+//! * [`server`] — a threaded, keep-alive-capable server with graceful
+//!   shutdown.
+//! * [`client`] — a blocking client used by the experiment harnesses and by
+//!   provider-to-provider federation.
+//!
+//! The design follows the session's networking guides: simplicity and
+//! robustness over cleverness — a small number of obvious state machines,
+//! explicit limits on every input (header count, line length, body size),
+//! and no unbounded allocation driven by peer-controlled values. There is
+//! deliberately no async runtime: a thread-per-connection server keeps the
+//! trusted computing base legible, and the experiments measure platform
+//! overhead, not connection-scaling limits.
+
+pub mod client;
+pub mod cookie;
+pub mod dns;
+pub mod encoding;
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use client::HttpClient;
+pub use dns::{DnsServer, Zone};
+pub use cookie::{Cookie, SetCookie};
+pub use http::{HttpError, Method, Request, Response, Status};
+pub use router::{RouteMatch, Router};
+pub use server::{Handler, Server, ServerConfig, ServerHandle};

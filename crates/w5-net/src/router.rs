@@ -1,0 +1,209 @@
+//! Path routing with `:param` captures.
+//!
+//! Routes look like `/app/:app/:action` or `/dev/:dev/module/:name`; the
+//! platform's gateway maps matched routes to handlers. Matching is by
+//! segments; literal segments win over captures when both could match
+//! (registration order breaks remaining ties).
+
+use crate::http::Method;
+use std::collections::BTreeMap;
+
+/// The result of a successful route match.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteMatch<T: Clone> {
+    /// The value registered with the route.
+    pub value: T,
+    /// Captured `:param` segments.
+    pub params: BTreeMap<String, String>,
+}
+
+#[derive(Clone, Debug)]
+struct Route<T: Clone> {
+    method: Method,
+    segments: Vec<Seg>,
+    value: T,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Seg {
+    Literal(String),
+    Param(String),
+    /// `*rest` — capture the remainder of the path (must be last).
+    Rest(String),
+}
+
+/// A method+path router.
+#[derive(Clone, Debug, Default)]
+pub struct Router<T: Clone> {
+    routes: Vec<Route<T>>,
+}
+
+impl<T: Clone> Router<T> {
+    /// An empty router.
+    pub fn new() -> Router<T> {
+        Router { routes: Vec::new() }
+    }
+
+    /// Register a route pattern.
+    ///
+    /// # Panics
+    /// Panics on malformed patterns (developer error, not peer input).
+    pub fn add(&mut self, method: Method, pattern: &str, value: T) {
+        assert!(pattern.starts_with('/'), "pattern must start with /");
+        let segments: Vec<Seg> = pattern
+            .split('/')
+            .skip(1)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix(':') {
+                    Seg::Param(name.to_string())
+                } else if let Some(name) = s.strip_prefix('*') {
+                    Seg::Rest(name.to_string())
+                } else {
+                    Seg::Literal(s.to_string())
+                }
+            })
+            .collect();
+        if let Some(pos) = segments.iter().position(|s| matches!(s, Seg::Rest(_))) {
+            assert_eq!(pos, segments.len() - 1, "*rest must be the last segment");
+        }
+        self.routes.push(Route { method, segments, value });
+    }
+
+    /// Match a method and path.
+    pub fn find(&self, method: Method, path: &str) -> Option<RouteMatch<T>> {
+        let parts: Vec<&str> = if path == "/" {
+            Vec::new()
+        } else {
+            path.split('/').skip(1).collect()
+        };
+        let mut best: Option<(usize, RouteMatch<T>)> = None;
+        for route in &self.routes {
+            if route.method != method {
+                continue;
+            }
+            if let Some((score, m)) = match_route(route, &parts) {
+                let better = match &best {
+                    None => true,
+                    Some((bs, _)) => score > *bs,
+                };
+                if better {
+                    best = Some((score, m));
+                }
+            }
+        }
+        best.map(|(_, m)| m)
+    }
+
+    /// Number of registered routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True if no routes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// Try to match; returns a specificity score (literal segments count 2,
+/// params 1, rest 0) for tie-breaking.
+fn match_route<T: Clone>(route: &Route<T>, parts: &[&str]) -> Option<(usize, RouteMatch<T>)> {
+    let mut params = BTreeMap::new();
+    let mut score = 0usize;
+    let mut i = 0;
+    for seg in &route.segments {
+        match seg {
+            Seg::Literal(lit) => {
+                if parts.get(i) != Some(&lit.as_str()) {
+                    return None;
+                }
+                score += 2;
+                i += 1;
+            }
+            Seg::Param(name) => {
+                let part = parts.get(i)?;
+                if part.is_empty() {
+                    return None;
+                }
+                params.insert(name.clone(), part.to_string());
+                score += 1;
+                i += 1;
+            }
+            Seg::Rest(name) => {
+                params.insert(name.clone(), parts[i..].join("/"));
+                i = parts.len();
+            }
+        }
+    }
+    if i != parts.len() {
+        return None;
+    }
+    Some((score, RouteMatch { value: route.value.clone(), params }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_param_matching() {
+        let mut r = Router::new();
+        r.add(Method::Get, "/", "root");
+        r.add(Method::Get, "/apps", "list");
+        r.add(Method::Get, "/app/:name", "app");
+        r.add(Method::Get, "/app/:name/files/*path", "files");
+        r.add(Method::Post, "/app/:name", "app-post");
+
+        assert_eq!(r.find(Method::Get, "/").unwrap().value, "root");
+        assert_eq!(r.find(Method::Get, "/apps").unwrap().value, "list");
+        let m = r.find(Method::Get, "/app/photo").unwrap();
+        assert_eq!(m.value, "app");
+        assert_eq!(m.params["name"], "photo");
+        let m = r.find(Method::Get, "/app/photo/files/albums/cats/1.jpg").unwrap();
+        assert_eq!(m.value, "files");
+        assert_eq!(m.params["path"], "albums/cats/1.jpg");
+        assert_eq!(r.find(Method::Post, "/app/photo").unwrap().value, "app-post");
+        assert!(r.find(Method::Get, "/nope").is_none());
+        assert!(r.find(Method::Delete, "/apps").is_none());
+    }
+
+    #[test]
+    fn literals_beat_params() {
+        let mut r = Router::new();
+        r.add(Method::Get, "/app/:name", "param");
+        r.add(Method::Get, "/app/admin", "literal");
+        assert_eq!(r.find(Method::Get, "/app/admin").unwrap().value, "literal");
+        assert_eq!(r.find(Method::Get, "/app/other").unwrap().value, "param");
+    }
+
+    #[test]
+    fn empty_segment_does_not_match_param() {
+        let mut r = Router::new();
+        r.add(Method::Get, "/u/:user", "u");
+        assert!(r.find(Method::Get, "/u/").is_none());
+    }
+
+    #[test]
+    fn rest_can_be_empty() {
+        let mut r = Router::new();
+        r.add(Method::Get, "/files/*p", "f");
+        let m = r.find(Method::Get, "/files").unwrap();
+        assert_eq!(m.params["p"], "");
+    }
+
+    #[test]
+    #[should_panic(expected = "last segment")]
+    fn rest_must_be_last() {
+        let mut r = Router::new();
+        r.add(Method::Get, "/a/*rest/b", "bad");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut r: Router<u32> = Router::new();
+        assert!(r.is_empty());
+        r.add(Method::Get, "/x", 1);
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! Threaded HTTP server with keep-alive and graceful shutdown.
+//!
+//! One OS thread per connection, bounded by a connection limit; the
+//! listener thread accepts and dispatches. Shutdown flips an atomic flag
+//! and unblocks the accept loop by connecting to itself — no busy-wait, no
+//! platform-specific listener tricks.
+
+use crate::http::{buf_reader, HttpError, Limits, Request, Response, Status};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A request handler. Receives the parsed request and the peer address;
+/// returns the response to send.
+pub trait Handler: Send + Sync + 'static {
+    /// Handle one request.
+    fn handle(&self, request: Request, peer: SocketAddr) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(Request, SocketAddr) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, request: Request, peer: SocketAddr) -> Response {
+        self(request, peer)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Parser limits per request.
+    pub limits: Limits,
+    /// Maximum concurrent connections; excess connections receive 503.
+    pub max_connections: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Maximum requests served on one keep-alive connection.
+    pub max_requests_per_connection: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            limits: Limits::default(),
+            max_connections: 256,
+            read_timeout: Duration::from_secs(10),
+            max_requests_per_connection: 1000,
+        }
+    }
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    active: Arc<AtomicUsize>,
+    served: Arc<AtomicUsize>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total requests served so far.
+    pub fn requests_served(&self) -> usize {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently being handled.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, wait for the accept loop to exit. In-flight
+    /// connections finish their current request and close.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return; // already stopped
+        }
+        // Unblock accept() with a wake-up connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The server factory.
+pub struct Server;
+
+impl Server {
+    /// Bind and serve on a background thread. `addr` may use port 0 to let
+    /// the OS pick; read the effective address from the returned handle.
+    pub fn start(
+        addr: &str,
+        config: ServerConfig,
+        handler: Arc<dyn Handler>,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let served = Arc::new(AtomicUsize::new(0));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_active = Arc::clone(&active);
+        let accept_served = Arc::clone(&served);
+        let accept_thread = std::thread::Builder::new()
+            .name("w5-http-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match conn {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    if accept_active.load(Ordering::Relaxed) >= config.max_connections {
+                        let _ = overloaded(stream);
+                        continue;
+                    }
+                    accept_active.fetch_add(1, Ordering::Relaxed);
+                    let handler = Arc::clone(&handler);
+                    let config = config.clone();
+                    let active = Arc::clone(&accept_active);
+                    let served = Arc::clone(&accept_served);
+                    let stop = Arc::clone(&accept_stop);
+                    let _ = std::thread::Builder::new()
+                        .name("w5-http-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, &config, &*handler, &served, &stop);
+                            active.fetch_sub(1, Ordering::Relaxed);
+                        });
+                }
+            })?;
+
+        Ok(ServerHandle {
+            addr: local,
+            stop,
+            accept_thread: Mutex::new(Some(accept_thread)),
+            active,
+            served,
+        })
+    }
+}
+
+fn overloaded(mut stream: TcpStream) -> std::io::Result<()> {
+    let resp = Response::error(Status::SERVICE_UNAVAILABLE, "server overloaded");
+    let mut out = Vec::new();
+    let _ = resp.write_to(&mut out, false);
+    stream.write_all(&out)
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    config: &ServerConfig,
+    handler: &dyn Handler,
+    served: &AtomicUsize,
+    stop: &AtomicBool,
+) -> Result<(), HttpError> {
+    let peer = stream.peer_addr().map_err(HttpError::Io)?;
+    stream
+        .set_read_timeout(Some(config.read_timeout))
+        .map_err(HttpError::Io)?;
+    stream.set_nodelay(true).ok();
+    let mut write_half = stream.try_clone().map_err(HttpError::Io)?;
+    let mut reader = buf_reader(stream);
+
+    for _ in 0..config.max_requests_per_connection {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let request = match Request::read_from(&mut reader, &config.limits) {
+            Ok(r) => r,
+            Err(HttpError::UnexpectedEof) => break, // clean close
+            Err(HttpError::Io(ref e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                break;
+            }
+            Err(e) => {
+                // Tell the peer what category of mistake it made and close.
+                let status = match e {
+                    HttpError::TooLarge(_) => Status::PAYLOAD_TOO_LARGE,
+                    HttpError::UnsupportedMethod(_) => Status::METHOD_NOT_ALLOWED,
+                    _ => Status::BAD_REQUEST,
+                };
+                let _ = Response::error(status, &e.to_string()).write_to(&mut write_half, false);
+                break;
+            }
+        };
+        let keep = request.keep_alive() && !stop.load(Ordering::SeqCst);
+        let response = handler.handle(request, peer);
+        served.fetch_add(1, Ordering::Relaxed);
+        response.write_to(&mut write_half, keep)?;
+        if !keep {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::http::Method;
+
+    fn echo_server() -> ServerHandle {
+        Server::start(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Arc::new(|req: Request, _peer: SocketAddr| {
+                Response::text(format!("{} {}", req.method, req.path))
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_and_shuts_down() {
+        let h = echo_server();
+        let client = HttpClient::new();
+        let resp = client.get(h.addr(), "/hello").unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.body_string(), "GET /hello");
+        assert_eq!(h.requests_served(), 1);
+        h.shutdown();
+        // Idempotent.
+        h.shutdown();
+        assert!(HttpClient::new().get(h.addr(), "/x").is_err());
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let h = echo_server();
+        let mut conn = HttpClient::new().connect(h.addr()).unwrap();
+        for i in 0..5 {
+            let resp = conn.request(&Request::get(&format!("/r{i}"))).unwrap();
+            assert_eq!(resp.body_string(), format!("GET /r{i}"));
+        }
+        assert_eq!(h.requests_served(), 5);
+        h.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let h = echo_server();
+        let addr = h.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let c = HttpClient::new();
+                    for j in 0..10 {
+                        let resp = c.get(addr, &format!("/t{i}/{j}")).unwrap();
+                        assert!(resp.status.is_success());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.requests_served(), 80);
+        h.shutdown();
+    }
+
+    #[test]
+    fn bad_request_gets_400() {
+        let h = echo_server();
+        // Unknown method → 405.
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        s.write_all(b"BANANA / HTTP/1.1\r\n\r\n").unwrap();
+        let mut r = buf_reader(s);
+        let resp = Response::read_from(&mut r, &Limits::default()).unwrap();
+        assert_eq!(resp.status, Status::METHOD_NOT_ALLOWED);
+        // Malformed target → 400.
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        s.write_all(b"GET noslash HTTP/1.1\r\n\r\n").unwrap();
+        let mut r = buf_reader(s);
+        let resp = Response::read_from(&mut r, &Limits::default()).unwrap();
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+        h.shutdown();
+    }
+
+    #[test]
+    fn post_roundtrip() {
+        let h = Server::start(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Arc::new(|req: Request, _| Response::text(String::from_utf8_lossy(&req.body).into_owned())),
+        )
+        .unwrap();
+        let c = HttpClient::new();
+        let resp = c
+            .post(h.addr(), "/submit", "application/x-www-form-urlencoded", b"a=1&b=2")
+            .unwrap();
+        assert_eq!(resp.body_string(), "a=1&b=2");
+        h.shutdown();
+    }
+
+    #[test]
+    fn method_routing_in_handler() {
+        let h = Server::start(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Arc::new(|req: Request, _| {
+                if req.method == Method::Post {
+                    Response::new(Status::CREATED)
+                } else {
+                    Response::new(Status::OK)
+                }
+            }),
+        )
+        .unwrap();
+        let c = HttpClient::new();
+        assert_eq!(c.get(h.addr(), "/").unwrap().status, Status::OK);
+        assert_eq!(
+            c.post(h.addr(), "/", "text/plain", b"x").unwrap().status,
+            Status::CREATED
+        );
+        h.shutdown();
+    }
+}

@@ -1,0 +1,76 @@
+//! Robustness properties for the HTTP front end: the parser must never
+//! panic and must never over-allocate, whatever bytes arrive from the
+//! network.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use w5_net::http::{Limits, Request, Response};
+
+proptest! {
+    /// Arbitrary bytes: parse or error, never panic.
+    #[test]
+    fn request_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut r = Cursor::new(bytes);
+        let _ = Request::read_from(&mut r, &Limits::default());
+    }
+
+    /// Same for the response parser (client side).
+    #[test]
+    fn response_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut r = Cursor::new(bytes);
+        let _ = Response::read_from(&mut r, &Limits::default());
+    }
+
+    /// HTTP-shaped garbage: structured request lines with hostile headers.
+    #[test]
+    fn structured_garbage_never_panics(
+        method in "[A-Z]{0,8}",
+        target in "[ -~]{0,40}",
+        headers in proptest::collection::vec(("[ -~]{0,20}", "[ -~]{0,20}"), 0..6),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut raw = format!("{method} {target} HTTP/1.1\r\n").into_bytes();
+        for (k, v) in &headers {
+            raw.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        raw.extend_from_slice(&body);
+        let mut r = Cursor::new(raw);
+        let _ = Request::read_from(&mut r, &Limits::default());
+    }
+
+    /// A parsed request round-trips through write_to → read_from.
+    #[test]
+    fn request_roundtrip(
+        path_seg in "[a-z0-9]{1,12}",
+        query in "[a-z0-9=&]{0,24}",
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut req = Request::get(&format!("/{path_seg}"));
+        req.method = w5_net::Method::Post;
+        req.query_raw = query;
+        req.body = bytes::Bytes::from(body);
+        req.headers.insert("host".into(), "w5.example".into());
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let mut r = Cursor::new(buf);
+        let parsed = Request::read_from(&mut r, &Limits::default()).unwrap();
+        prop_assert_eq!(parsed.path, req.path);
+        prop_assert_eq!(parsed.query_raw, req.query_raw);
+        prop_assert_eq!(parsed.body, req.body);
+    }
+
+    /// Percent-encoding round-trips arbitrary unicode.
+    #[test]
+    fn percent_roundtrip(s in ".{0,64}") {
+        use w5_net::encoding::{percent_decode, percent_encode};
+        prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+    }
+
+    /// The DNS query parser never panics on arbitrary packets.
+    #[test]
+    fn dns_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = w5_net::dns::parse_query(&bytes);
+        let _ = w5_net::dns::parse_response(&bytes);
+    }
+}

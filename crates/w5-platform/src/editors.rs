@@ -1,0 +1,218 @@
+//! W5 editors (paper §3.2) and integrity-protected launching (§3.1).
+//!
+//! "One can also imagine the emergence of W5 editors, who collect, audit
+//! and vet software collections that are compatible and dependable." And
+//! from §3.1's policy menu: "integrity protection, in which Bob can
+//! authorize an application to act on his behalf only if all of its
+//! components (such as its libraries and configuration files) are
+//! meritorious."
+//!
+//! The mechanism: editors publish **endorsements** of specific app
+//! versions. A user may mark editors as trusted and flip on
+//! *endorsement-required* mode; the launcher then refuses to run any
+//! application — or any of its imports, transitively — that no trusted
+//! editor has endorsed at the resolved version.
+
+use crate::appreg::AppRegistry;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One endorsement: an editor vouches for one version of one app.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Endorsement {
+    /// Editor name.
+    pub editor: String,
+    /// App key (`"developer/app"`).
+    pub app: String,
+    /// Endorsed version.
+    pub version: u32,
+    /// Free-text audit note.
+    pub note: String,
+}
+
+/// The provider's registry of editors and their endorsements.
+#[derive(Default)]
+pub struct EditorRegistry {
+    endorsements: RwLock<Vec<Endorsement>>,
+}
+
+impl EditorRegistry {
+    /// An empty registry.
+    pub fn new() -> EditorRegistry {
+        EditorRegistry::default()
+    }
+
+    /// Record an endorsement (idempotent per (editor, app, version)).
+    pub fn endorse(&self, editor: &str, app: &str, version: u32, note: &str) {
+        let mut list = self.endorsements.write();
+        if !list
+            .iter()
+            .any(|e| e.editor == editor && e.app == app && e.version == version)
+        {
+            list.push(Endorsement {
+                editor: editor.to_string(),
+                app: app.to_string(),
+                version,
+                note: note.to_string(),
+            });
+        }
+    }
+
+    /// Withdraw an endorsement (e.g. a vulnerability was found).
+    pub fn withdraw(&self, editor: &str, app: &str, version: u32) {
+        self.endorsements
+            .write()
+            .retain(|e| !(e.editor == editor && e.app == app && e.version == version));
+    }
+
+    /// Editors endorsing a specific app version.
+    pub fn endorsers_of(&self, app: &str, version: u32) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .endorsements
+            .read()
+            .iter()
+            .filter(|e| e.app == app && e.version == version)
+            .map(|e| e.editor.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Is this app version endorsed by any of the given editors?
+    pub fn endorsed_by_any(&self, app: &str, version: u32, trusted: &HashSet<String>) -> bool {
+        self.endorsements
+            .read()
+            .iter()
+            .any(|e| e.app == app && e.version == version && trusted.contains(&e.editor))
+    }
+
+    /// All endorsements (catalog view).
+    pub fn list(&self) -> Vec<Endorsement> {
+        self.endorsements.read().clone()
+    }
+
+    /// The §3.1 integrity-protection check: the app at `(key, version)`
+    /// and all of its imports (transitively, at their latest versions)
+    /// must be endorsed by one of `trusted`. Returns the offending
+    /// component on failure.
+    pub fn check_integrity(
+        &self,
+        apps: &AppRegistry,
+        key: &str,
+        version: u32,
+        trusted: &HashSet<String>,
+    ) -> Result<(), String> {
+        let mut seen: HashMap<String, u32> = HashMap::new();
+        let mut stack = vec![(key.to_string(), version)];
+        while let Some((k, v)) = stack.pop() {
+            if seen.insert(k.clone(), v).is_some() {
+                continue;
+            }
+            if !self.endorsed_by_any(&k, v, trusted) {
+                return Err(k);
+            }
+            if let Some(manifest) = apps.version(&k, v).or_else(|| apps.latest(&k)) {
+                for imp in &manifest.imports {
+                    if let Some(m) = apps.latest(imp) {
+                        stack.push((imp.clone(), m.version));
+                    } else {
+                        return Err(imp.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appreg::AppManifest;
+
+    fn manifest(dev: &str, name: &str, version: u32, imports: Vec<String>) -> AppManifest {
+        AppManifest {
+            name: name.into(),
+            developer: dev.into(),
+            version,
+            description: String::new(),
+            module_slots: vec![],
+            imports,
+            forked_from: None,
+            source: None,
+        }
+    }
+
+    #[test]
+    fn endorse_withdraw_list() {
+        let r = EditorRegistry::new();
+        r.endorse("linux-mag", "devA/photos", 1, "audited 2007-08");
+        r.endorse("linux-mag", "devA/photos", 1, "duplicate ignored");
+        r.endorse("acm-queue", "devA/photos", 1, "ok");
+        assert_eq!(r.endorsers_of("devA/photos", 1), vec!["acm-queue", "linux-mag"]);
+        assert_eq!(r.list().len(), 2);
+        r.withdraw("linux-mag", "devA/photos", 1);
+        assert_eq!(r.endorsers_of("devA/photos", 1), vec!["acm-queue"]);
+        assert!(r.endorsers_of("devA/photos", 2).is_empty());
+    }
+
+    #[test]
+    fn endorsed_by_any_respects_trust_set() {
+        let r = EditorRegistry::new();
+        r.endorse("shady-blog", "devA/photos", 1, "trust me");
+        let mut trusted = HashSet::new();
+        trusted.insert("linux-mag".to_string());
+        assert!(!r.endorsed_by_any("devA/photos", 1, &trusted));
+        trusted.insert("shady-blog".to_string());
+        assert!(r.endorsed_by_any("devA/photos", 1, &trusted));
+    }
+
+    #[test]
+    fn integrity_check_walks_imports() {
+        let apps = AppRegistry::new();
+        apps.publish(manifest("devC", "syslib", 1, vec![])).unwrap();
+        apps.publish(manifest("devB", "imagelib", 1, vec!["devC/syslib".into()])).unwrap();
+        apps.publish(manifest("devA", "photos", 1, vec!["devB/imagelib".into()])).unwrap();
+
+        let editors = EditorRegistry::new();
+        let trusted: HashSet<String> = ["mag".to_string()].into();
+
+        // Nothing endorsed: the app itself fails first.
+        assert_eq!(
+            editors.check_integrity(&apps, "devA/photos", 1, &trusted),
+            Err("devA/photos".to_string())
+        );
+        // Endorse app but not the transitive import: the import fails.
+        editors.endorse("mag", "devA/photos", 1, "");
+        editors.endorse("mag", "devB/imagelib", 1, "");
+        assert_eq!(
+            editors.check_integrity(&apps, "devA/photos", 1, &trusted),
+            Err("devC/syslib".to_string())
+        );
+        // Full chain endorsed: passes.
+        editors.endorse("mag", "devC/syslib", 1, "");
+        assert_eq!(editors.check_integrity(&apps, "devA/photos", 1, &trusted), Ok(()));
+        // Untrusted editor endorsements don't count.
+        editors.withdraw("mag", "devB/imagelib", 1);
+        editors.endorse("shady", "devB/imagelib", 1, "");
+        assert_eq!(
+            editors.check_integrity(&apps, "devA/photos", 1, &trusted),
+            Err("devB/imagelib".to_string())
+        );
+    }
+
+    #[test]
+    fn missing_import_fails_closed() {
+        let apps = AppRegistry::new();
+        apps.publish(manifest("devA", "photos", 1, vec!["ghost/lib".into()])).unwrap();
+        let editors = EditorRegistry::new();
+        let trusted: HashSet<String> = ["mag".to_string()].into();
+        editors.endorse("mag", "devA/photos", 1, "");
+        assert_eq!(
+            editors.check_integrity(&apps, "devA/photos", 1, &trusted),
+            Err("ghost/lib".to_string())
+        );
+    }
+}

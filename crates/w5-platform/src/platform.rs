@@ -1,0 +1,558 @@
+//! The meta-application: one W5 provider instance.
+//!
+//! A [`Platform`] owns the whole trusted stack — tag registry, kernel,
+//! labeled storage, accounts, sessions, app catalog, policies,
+//! declassifiers and the export perimeter — and implements the launcher of
+//! paper §2: authenticate the user from a cookie, identify the requested
+//! application, launch it with the privileges the user's policy grants,
+//! and pass its output through the perimeter.
+
+use crate::api::{AppRequest, AppResponse, PlatformApi, W5App};
+use crate::appreg::{AppManifest, AppRegistry};
+use crate::declass::{DeclassifierRegistry, RelationshipOracle};
+use crate::editors::EditorRegistry;
+use crate::faultreport::{build_report, FaultKind, FaultReport};
+use crate::perimeter::{ExportDecision, Exporter};
+use crate::policy::PolicyStore;
+use crate::principal::{Account, AccountStore};
+use crate::sanitize::{sanitize_html, SanitizeStats};
+use crate::session::SessionStore;
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use w5_difc::{CapSet, Capability, LabelPair, TagRegistry};
+use w5_kernel::{Kernel, ResourceLimits};
+use w5_store::{Database, LabeledFs, QueryCost, QueryMode, Subject};
+
+/// Platform-wide configuration. The `enforce_ifc` switch exists solely for
+/// the no-IFC baseline arm of the overhead experiments (E4): a production
+/// provider would never disable it.
+#[derive(Clone, Debug)]
+pub struct PlatformConfig {
+    /// Enforce information flow control (perimeter + taint). Disabling
+    /// reduces the platform to a conventional shared web host.
+    pub enforce_ifc: bool,
+    /// Filter JavaScript out of outgoing HTML (§3.5).
+    pub sanitize_html: bool,
+    /// Resource limits for app instances.
+    pub app_limits: ResourceLimits,
+    /// Per-query scan budget for app SQL.
+    pub query_cost: QueryCost,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            enforce_ifc: true,
+            sanitize_html: true,
+            app_limits: ResourceLimits::sandbox_default(),
+            query_cost: QueryCost::sandbox_default(),
+        }
+    }
+}
+
+/// The outcome of one application invocation, before HTTP encoding.
+#[derive(Clone, Debug)]
+pub struct InvokeResult {
+    /// HTTP-ish status code the gateway should send.
+    pub status: u16,
+    /// Content type of the body.
+    pub content_type: String,
+    /// Body (possibly sanitized).
+    pub body: Bytes,
+    /// The labels the instance ended with.
+    pub labels: LabelPair,
+    /// The perimeter's decision (None when IFC is disabled).
+    pub export: Option<ExportDecision>,
+    /// Fault report, if the app failed.
+    pub fault: Option<FaultReport>,
+    /// Sanitizer statistics, if HTML filtering ran.
+    pub sanitized: Option<SanitizeStats>,
+}
+
+/// Aggregate platform counters.
+#[derive(Debug, Default)]
+pub struct PlatformStats {
+    /// Application invocations.
+    pub invocations: AtomicU64,
+    /// Invocations whose export was blocked.
+    pub exports_blocked: AtomicU64,
+    /// Application faults.
+    pub faults: AtomicU64,
+}
+
+/// One W5 provider instance.
+pub struct Platform {
+    /// Provider name (federation / diagnostics).
+    pub name: String,
+    /// Shared tag registry.
+    pub registry: Arc<TagRegistry>,
+    /// The DIFC kernel.
+    pub kernel: Kernel,
+    /// Labeled filesystem.
+    pub fs: LabeledFs,
+    /// Labeled database.
+    pub db: Database,
+    /// User accounts.
+    pub accounts: AccountStore,
+    /// Login sessions.
+    pub sessions: SessionStore,
+    /// Application catalog (manifests).
+    pub apps: AppRegistry,
+    /// Declassifier catalog.
+    pub declassifiers: DeclassifierRegistry,
+    /// Editor endorsements (§3.2) backing integrity-protected launches.
+    pub editors: EditorRegistry,
+    /// Per-user policies.
+    pub policies: PolicyStore,
+    /// The export perimeter.
+    pub exporter: Exporter,
+    /// Configuration.
+    pub config: PlatformConfig,
+    /// Counters.
+    pub stats: PlatformStats,
+    impls: RwLock<HashMap<String, Arc<dyn W5App>>>,
+    faults: Mutex<Vec<FaultReport>>,
+}
+
+impl Platform {
+    /// A fresh provider with the built-in declassifiers and platform tables.
+    pub fn new(name: &str, config: PlatformConfig) -> Arc<Platform> {
+        let registry = Arc::new(TagRegistry::new());
+        let kernel = Kernel::new(Arc::clone(&registry));
+        let db = Database::new();
+        // Platform-owned relationship tables (the oracle reads these).
+        let trusted = Subject::anonymous();
+        db.execute(
+            &trusted,
+            QueryMode::Filtered,
+            QueryCost::unlimited(),
+            &LabelPair::public(),
+            "CREATE TABLE w5_friends (owner TEXT, friend TEXT)",
+        )
+        .expect("create friends table");
+        db.execute(
+            &trusted,
+            QueryMode::Filtered,
+            QueryCost::unlimited(),
+            &LabelPair::public(),
+            "CREATE TABLE w5_groups (owner TEXT, grp TEXT, member TEXT)",
+        )
+        .expect("create groups table");
+        db.execute(
+            &trusted,
+            QueryMode::Filtered,
+            QueryCost::unlimited(),
+            &LabelPair::public(),
+            "CREATE TABLE w5_mail (app TEXT, body TEXT, seq INTEGER)",
+        )
+        .expect("create mail table");
+
+        Arc::new(Platform {
+            name: name.to_string(),
+            accounts: AccountStore::new(Arc::clone(&registry)),
+            registry,
+            kernel,
+            fs: LabeledFs::new(),
+            db,
+            sessions: SessionStore::new(),
+            apps: AppRegistry::new(),
+            declassifiers: DeclassifierRegistry::with_builtins(),
+            editors: EditorRegistry::new(),
+            policies: PolicyStore::new(),
+            exporter: Exporter::new(),
+            config,
+            stats: PlatformStats::default(),
+            impls: RwLock::new(HashMap::new()),
+            faults: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Default-config provider.
+    pub fn new_default(name: &str) -> Arc<Platform> {
+        Platform::new(name, PlatformConfig::default())
+    }
+
+    /// Install the executable implementation for a published app key.
+    pub fn install_app(&self, key: &str, app: Arc<dyn W5App>) {
+        self.impls.write().insert(key.to_string(), app);
+    }
+
+    /// Fetch an app implementation.
+    pub fn app_impl(&self, key: &str) -> Option<Arc<dyn W5App>> {
+        self.impls.read().get(key).cloned()
+    }
+
+    /// Resolve which manifest a user actually runs: their version pin if
+    /// any, else the latest.
+    pub fn resolve_manifest(&self, viewer: Option<&Account>, key: &str) -> Option<AppManifest> {
+        if let Some(v) = viewer {
+            let policy = self.policies.get(v.id);
+            if let Some(&pin) = policy.version_pins.get(key) {
+                return self.apps.version(key, pin);
+            }
+        }
+        self.apps.latest(key)
+    }
+
+    /// The relationship oracle backed by the platform tables.
+    pub fn oracle(&self) -> PlatformOracle<'_> {
+        PlatformOracle { db: &self.db }
+    }
+
+    /// Record a friendship (platform UI path; the social app also writes
+    /// these rows through its own API).
+    pub fn add_friend(&self, owner: &str, friend: &str) {
+        let trusted = Subject::anonymous();
+        self.db
+            .execute(
+                &trusted,
+                QueryMode::Filtered,
+                QueryCost::unlimited(),
+                &LabelPair::public(),
+                &format!("INSERT INTO w5_friends (owner, friend) VALUES ('{}', '{}')", sql_escape(owner), sql_escape(friend)),
+            )
+            .expect("insert friend row");
+    }
+
+    /// Record group membership.
+    pub fn add_group_member(&self, owner: &str, group: &str, member: &str) {
+        let trusted = Subject::anonymous();
+        self.db
+            .execute(
+                &trusted,
+                QueryMode::Filtered,
+                QueryCost::unlimited(),
+                &LabelPair::public(),
+                &format!(
+                    "INSERT INTO w5_groups (owner, grp, member) VALUES ('{}', '{}', '{}')",
+                    sql_escape(owner),
+                    sql_escape(group),
+                    sql_escape(member)
+                ),
+            )
+            .expect("insert group row");
+    }
+
+    /// Launch an application instance and run one request through it —
+    /// the complete §2 request path minus HTTP framing (the gateway adds
+    /// that). Also the entry point the benchmarks drive directly.
+    pub fn invoke(
+        &self,
+        viewer: Option<&Account>,
+        app_key: &str,
+        request: AppRequest,
+    ) -> InvokeResult {
+        self.stats.invocations.fetch_add(1, Ordering::Relaxed);
+
+        let Some(manifest) = self.resolve_manifest(viewer, app_key) else {
+            return error_result(404, "no such application");
+        };
+        let Some(app) = self.app_impl(app_key) else {
+            return error_result(404, "application not installed");
+        };
+
+        // Resolve module choices: the viewer's pick per slot, defaulting to
+        // the app's own developer.
+        let mut request = request;
+        let viewer_policy = viewer.map(|v| self.policies.get(v.id));
+        for slot in &manifest.module_slots {
+            let choice = viewer_policy
+                .as_ref()
+                .and_then(|p| p.module_choices.get(&(app_key.to_string(), slot.clone())))
+                .cloned()
+                .unwrap_or_else(|| manifest.developer.clone());
+            request.modules.insert(slot.clone(), choice);
+        }
+
+        // §3.1 integrity protection: if the viewer requires endorsements,
+        // the app and its whole import closure must be vouched by one of
+        // their trusted editors.
+        if let Some(v) = viewer {
+            let policy = self.policies.get(v.id);
+            if policy.require_endorsement {
+                if let Err(component) = self.editors.check_integrity(
+                    &self.apps,
+                    app_key,
+                    manifest.version,
+                    &policy.trusted_editors,
+                ) {
+                    return error_result(
+                        403,
+                        &format!("launch refused: component {component} lacks a trusted endorsement"),
+                    );
+                }
+            }
+        }
+
+        // Assemble the instance's capability grant from the viewer's policy.
+        let mut grant = CapSet::empty();
+        if let Some(v) = viewer {
+            let policy = self.policies.get(v.id);
+            if policy.write_delegations.contains(app_key) {
+                grant.insert(Capability::plus(v.write_tag));
+            }
+            if policy.read_delegations.contains(app_key) {
+                if let Some(r) = v.read_tag {
+                    grant.insert(Capability::plus(r));
+                }
+            }
+        }
+        let limits = if self.config.enforce_ifc {
+            self.config.app_limits
+        } else {
+            ResourceLimits::unlimited()
+        };
+        let pid = self
+            .kernel
+            .create_process(&format!("app:{app_key}"), LabelPair::public(), grant, limits);
+
+        let query_mode = if self.config.enforce_ifc { QueryMode::Filtered } else { QueryMode::Naive };
+        let mut api = PlatformApi::new(
+            &self.kernel,
+            &self.fs,
+            &self.db,
+            pid,
+            viewer,
+            app_key,
+            self.config.query_cost,
+            query_mode,
+        );
+
+        let outcome = quiet_panics(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                app.handle(&request, &mut api)
+            }))
+        });
+        let _log = api.take_log();
+        let labels = self.kernel.labels(pid).unwrap_or_default();
+
+        let result = match outcome {
+            Err(panic) => {
+                let detail = panic_message(&panic);
+                let report = build_report(app_key, FaultKind::Crash, &labels, &detail);
+                self.record_fault(report.clone());
+                let mut r = error_result(500, "application error");
+                r.fault = Some(report);
+                r.labels = labels.clone();
+                r
+            }
+            Ok(Err(e)) => {
+                let kind = match e {
+                    crate::api::ApiError::Quota => FaultKind::QuotaExceeded,
+                    crate::api::ApiError::Denied => FaultKind::FlowDenied,
+                    _ => FaultKind::BadResponse,
+                };
+                let report = build_report(app_key, kind, &labels, &e.to_string());
+                self.record_fault(report.clone());
+                let status = match e {
+                    crate::api::ApiError::NotFound => 404,
+                    crate::api::ApiError::Denied => 403,
+                    crate::api::ApiError::Quota => 429,
+                    crate::api::ApiError::Bad(_) => 400,
+                };
+                let mut r = error_result(status, &e.to_string());
+                r.fault = Some(report);
+                r.labels = labels.clone();
+                r
+            }
+            Ok(Ok(response)) => {
+                self.export_response(viewer, app_key, response, labels)
+            }
+        };
+
+        let _ = self.kernel.exit(pid);
+        let _ = self.kernel.reap(pid);
+        result
+    }
+
+    fn export_response(
+        &self,
+        viewer: Option<&Account>,
+        app_key: &str,
+        response: AppResponse,
+        labels: LabelPair,
+    ) -> InvokeResult {
+        if !self.config.enforce_ifc {
+            // Baseline arm: ship it, no questions asked.
+            return InvokeResult {
+                status: 200,
+                content_type: response.content_type,
+                body: response.body,
+                labels,
+                export: None,
+                fault: None,
+                sanitized: None,
+            };
+        }
+        let oracle = self.oracle();
+        let decision = self.exporter.check(
+            &labels,
+            viewer,
+            app_key,
+            &self.accounts,
+            &self.policies,
+            &self.declassifiers,
+            &oracle,
+        );
+        if !decision.allowed {
+            self.stats.exports_blocked.fetch_add(1, Ordering::Relaxed);
+            let mut r = error_result(403, "export blocked by data owner's policy");
+            r.labels = labels;
+            r.export = Some(decision);
+            return r;
+        }
+        let (body, sanitized) = if self.config.sanitize_html
+            && response.content_type.starts_with("text/html")
+        {
+            let (clean, stats) = sanitize_html(&String::from_utf8_lossy(&response.body));
+            (Bytes::from(clean), Some(stats))
+        } else {
+            (response.body, None)
+        };
+        InvokeResult {
+            status: 200,
+            content_type: response.content_type,
+            body,
+            labels,
+            export: Some(decision),
+            fault: None,
+            sanitized,
+        }
+    }
+
+    fn record_fault(&self, report: FaultReport) {
+        self.stats.faults.fetch_add(1, Ordering::Relaxed);
+        let mut faults = self.faults.lock();
+        if faults.len() >= 10_000 {
+            faults.remove(0);
+        }
+        faults.push(report);
+    }
+
+    /// Fault reports retained for developers (already label-scrubbed).
+    pub fn fault_reports(&self) -> Vec<FaultReport> {
+        self.faults.lock().clone()
+    }
+
+    /// Build an [`AppRequest`] from decomposed parts (gateway + tests).
+    pub fn make_request(
+        method: &str,
+        action: &str,
+        params: &[(&str, &str)],
+        viewer: Option<&Account>,
+        body: Bytes,
+    ) -> AppRequest {
+        AppRequest {
+            method: method.to_string(),
+            action: action.to_string(),
+            params: params
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect::<BTreeMap<_, _>>(),
+            viewer: viewer.map(|a| a.username.clone()),
+            modules: BTreeMap::new(),
+            body,
+        }
+    }
+}
+
+thread_local! {
+    static SUPPRESS_PANIC_OUTPUT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Run `f` with panic messages from *this thread* suppressed. Application
+/// panics are expected events (they become fault reports); printing their
+/// payloads to the provider console would both spam logs and leak data the
+/// fault-report redaction exists to protect.
+fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(|s| s.get()) {
+                previous(info);
+            }
+        }));
+    });
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let result = f();
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    result
+}
+
+fn error_result(status: u16, msg: &str) -> InvokeResult {
+    InvokeResult {
+        status,
+        content_type: "text/plain; charset=utf-8".to_string(),
+        body: Bytes::from(msg.to_string()),
+        labels: LabelPair::public(),
+        export: None,
+        fault: None,
+        sanitized: None,
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic".to_string()
+    }
+}
+
+/// Escape a string for inclusion in a single-quoted SQL literal.
+pub fn sql_escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+/// The relationship oracle over the platform's tables.
+pub struct PlatformOracle<'a> {
+    db: &'a Database,
+}
+
+impl RelationshipOracle for PlatformOracle<'_> {
+    fn are_friends(&self, a: &str, b: &str) -> bool {
+        let trusted = Subject::anonymous();
+        let sql = format!(
+            "SELECT COUNT(*) FROM w5_friends WHERE owner = '{}' AND friend = '{}'",
+            sql_escape(a),
+            sql_escape(b)
+        );
+        match self.db.execute(
+            &trusted,
+            QueryMode::Filtered,
+            QueryCost::unlimited(),
+            &LabelPair::public(),
+            &sql,
+        ) {
+            Ok(out) => matches!(out.rows.first().map(|r| &r.values[0]), Some(w5_store::Value::Int(n)) if *n > 0),
+            Err(_) => false,
+        }
+    }
+
+    fn in_group(&self, owner: &str, group: &str, user: &str) -> bool {
+        let trusted = Subject::anonymous();
+        let sql = format!(
+            "SELECT COUNT(*) FROM w5_groups WHERE owner = '{}' AND grp = '{}' AND member = '{}'",
+            sql_escape(owner),
+            sql_escape(group),
+            sql_escape(user)
+        );
+        match self.db.execute(
+            &trusted,
+            QueryMode::Filtered,
+            QueryCost::unlimited(),
+            &LabelPair::public(),
+            &sql,
+        ) {
+            Ok(out) => matches!(out.rows.first().map(|r| &r.values[0]), Some(w5_store::Value::Int(n)) if *n > 0),
+            Err(_) => false,
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Perimeter HTML/JavaScript filtering (paper §3.5, "client-side support").
+//!
+//! "W5 could disable JavaScript entirely by filtering it out at the
+//! security perimeter." This module is that filter: a single-pass state
+//! machine over outgoing HTML that removes `<script>` elements, inline
+//! event-handler attributes (`onclick=` and friends) and `javascript:`
+//! URLs. It is intentionally conservative: when in doubt, strip.
+//!
+//! The filter is measured by experiment E10 (throughput and efficacy over a
+//! generated corpus).
+
+/// What the sanitizer removed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SanitizeStats {
+    /// `<script>…</script>` elements removed.
+    pub scripts_removed: usize,
+    /// `on*=` attributes removed.
+    pub handlers_removed: usize,
+    /// `javascript:` URLs neutralized.
+    pub js_urls_removed: usize,
+}
+
+impl SanitizeStats {
+    /// Total removals.
+    pub fn total(&self) -> usize {
+        self.scripts_removed + self.handlers_removed + self.js_urls_removed
+    }
+}
+
+/// Sanitize an HTML document, returning the cleaned text and statistics.
+/// Non-HTML content should bypass this (the gateway filters by content
+/// type).
+pub fn sanitize_html(input: &str) -> (String, SanitizeStats) {
+    let mut out = String::with_capacity(input.len());
+    let mut stats = SanitizeStats::default();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            // Script element?
+            if has_ci_prefix(&input[i..], "<script") {
+                // Skip to the matching </script> (case-insensitive); if
+                // unterminated, drop the rest of the document — fail closed.
+                stats.scripts_removed += 1;
+                match find_ci(&input[i..], "</script") {
+                    Some(rel) => {
+                        let after = i + rel;
+                        // Skip past the closing tag's '>'.
+                        match input[after..].find('>') {
+                            Some(gt) => {
+                                i = after + gt + 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    None => break,
+                }
+                continue;
+            }
+            // A normal tag: copy it, filtering dangerous attributes. If a
+            // new `<` opens before this tag closes, the markup is broken
+            // in a way attackers exploit (`<div<script>…`): drop the
+            // broken fragment and resume at the inner `<` (fail closed).
+            let rest = &input[i + 1..];
+            match (rest.find('>'), rest.find('<')) {
+                (Some(g), Some(l)) if l < g => {
+                    i += 1 + l;
+                    continue;
+                }
+                (Some(g), _) => {
+                    let tag = &input[i..i + 1 + g + 1];
+                    out.push_str(&clean_tag(tag, &mut stats));
+                    i += 1 + g + 1;
+                    continue;
+                }
+                (None, _) => {
+                    // Unterminated tag at EOF: drop it (fail closed).
+                    break;
+                }
+            }
+        }
+        // Plain text: copy up to the next '<'.
+        let next = input[i..].find('<').map(|r| i + r).unwrap_or(bytes.len());
+        out.push_str(&input[i..next]);
+        i = next;
+    }
+    (out, stats)
+}
+
+fn has_ci_prefix(s: &str, prefix: &str) -> bool {
+    // Byte-wise: slicing the &str could split a multi-byte character.
+    let (s, p) = (s.as_bytes(), prefix.as_bytes());
+    s.len() >= p.len() && s[..p.len()].eq_ignore_ascii_case(p)
+}
+
+fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() || h.len() < n.len() {
+        return None;
+    }
+    (0..=h.len() - n.len()).find(|&i| h[i..i + n.len()].eq_ignore_ascii_case(n))
+}
+
+/// Rewrite one tag, dropping `on*` attributes and neutralizing
+/// `javascript:` URLs. The tag arrives as `<name attr=... >`.
+fn clean_tag(tag: &str, stats: &mut SanitizeStats) -> String {
+    let mut inner = &tag[1..tag.len() - 1];
+    // Closing tags and comments pass through.
+    if inner.starts_with('/') || inner.starts_with('!') {
+        return tag.to_string();
+    }
+    // Peel a self-closing slash off the end before attribute parsing.
+    let self_closing = inner.trim_end().ends_with('/');
+    if self_closing {
+        inner = inner.trim_end().strip_suffix('/').unwrap_or(inner);
+    }
+    let mut out = String::with_capacity(tag.len());
+    out.push('<');
+    let mut chars = inner.char_indices().peekable();
+    // Copy the element name.
+    let name_end = inner
+        .find(|c: char| c.is_ascii_whitespace())
+        .unwrap_or(inner.len());
+    out.push_str(&inner[..name_end]);
+    while let Some(&(pos, _)) = chars.peek() {
+        if pos < name_end {
+            chars.next();
+            continue;
+        }
+        break;
+    }
+    // Attribute scanning.
+    let mut rest = &inner[name_end..];
+    loop {
+        let trimmed = rest.trim_start();
+        if trimmed.is_empty() {
+            break;
+        }
+        let offset = rest.len() - trimmed.len();
+        let _ = offset;
+        // Attribute name.
+        let name_len = trimmed
+            .find(|c: char| c == '=' || c.is_ascii_whitespace())
+            .unwrap_or(trimmed.len());
+        let attr_name = &trimmed[..name_len];
+        let after_name = &trimmed[name_len..];
+        let (value, after): (Option<&str>, &str) = if after_name.trim_start().starts_with('=') {
+            let eq = after_name.find('=').unwrap();
+            let v = after_name[eq + 1..].trim_start();
+            if let Some(stripped) = v.strip_prefix('"') {
+                match stripped.find('"') {
+                    Some(end) => (Some(&stripped[..end]), &stripped[end + 1..]),
+                    None => (Some(stripped), ""),
+                }
+            } else if let Some(stripped) = v.strip_prefix('\'') {
+                match stripped.find('\'') {
+                    Some(end) => (Some(&stripped[..end]), &stripped[end + 1..]),
+                    None => (Some(stripped), ""),
+                }
+            } else {
+                let end = v
+                    .find(|c: char| c.is_ascii_whitespace())
+                    .unwrap_or(v.len());
+                (Some(&v[..end]), &v[end..])
+            }
+        } else {
+            (None, after_name)
+        };
+
+        let lower = attr_name.to_ascii_lowercase();
+        if lower.starts_with("on") && lower.len() > 2 {
+            stats.handlers_removed += 1;
+            // Drop the attribute entirely.
+        } else if let Some(v) = value {
+            let vt = v.trim();
+            // Neutralize javascript: (tolerating embedded whitespace
+            // tricks like "java\tscript:").
+            let compact: String = vt
+                .chars()
+                .filter(|c| !c.is_ascii_whitespace() && !c.is_control())
+                .collect::<String>()
+                .to_ascii_lowercase();
+            if compact.starts_with("javascript:") {
+                stats.js_urls_removed += 1;
+                out.push(' ');
+                out.push_str(attr_name);
+                out.push_str("=\"#\"");
+            } else {
+                out.push(' ');
+                out.push_str(attr_name);
+                out.push_str("=\"");
+                out.push_str(v);
+                out.push('"');
+            }
+        } else if !attr_name.is_empty() {
+            out.push(' ');
+            out.push_str(attr_name);
+        }
+        rest = after;
+        if attr_name.is_empty() {
+            // Defensive: avoid an infinite loop on pathological input.
+            break;
+        }
+    }
+    // Preserve self-closing slash.
+    if self_closing {
+        out.push_str(" /");
+    }
+    out.push('>');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_clean_html() {
+        let html = r#"<html><body><h1>Title</h1><p class="x">text</p><a href="/next">go</a></body></html>"#;
+        let (out, stats) = sanitize_html(html);
+        assert_eq!(stats.total(), 0);
+        assert!(out.contains("<h1>Title</h1>"));
+        assert!(out.contains(r#"href="/next""#));
+    }
+
+    #[test]
+    fn strips_script_elements() {
+        let html = "<p>before</p><script>alert('xss')</script><p>after</p>";
+        let (out, stats) = sanitize_html(html);
+        assert_eq!(stats.scripts_removed, 1);
+        assert!(!out.contains("alert"));
+        assert!(out.contains("before"));
+        assert!(out.contains("after"));
+    }
+
+    #[test]
+    fn strips_script_case_insensitive() {
+        let html = "<ScRiPt src=evil.js></SCRIPT>x";
+        let (out, stats) = sanitize_html(html);
+        assert_eq!(stats.scripts_removed, 1);
+        assert!(!out.contains("evil"));
+        assert!(out.ends_with('x'));
+    }
+
+    #[test]
+    fn unterminated_script_fails_closed() {
+        let html = "<p>ok</p><script>steal()";
+        let (out, stats) = sanitize_html(html);
+        assert_eq!(stats.scripts_removed, 1);
+        assert!(!out.contains("steal"));
+        assert!(out.contains("ok"));
+    }
+
+    #[test]
+    fn strips_event_handlers() {
+        let html = r#"<img src="a.jpg" onerror="steal()" onload='x()'><div onclick=go>hi</div>"#;
+        let (out, stats) = sanitize_html(html);
+        assert_eq!(stats.handlers_removed, 3);
+        assert!(!out.contains("onerror"));
+        assert!(!out.contains("onclick"));
+        assert!(out.contains(r#"src="a.jpg""#));
+        assert!(out.contains(">hi<"));
+    }
+
+    #[test]
+    fn neutralizes_javascript_urls() {
+        let html = r#"<a href="javascript:steal()">x</a><a href="JaVaScRiPt:y()">z</a>"#;
+        let (out, stats) = sanitize_html(html);
+        assert_eq!(stats.js_urls_removed, 2);
+        assert!(!out.to_ascii_lowercase().contains("javascript:"));
+        assert!(out.contains(r##"href="#""##));
+    }
+
+    #[test]
+    fn neutralizes_whitespace_obfuscated_js_urls() {
+        let html = "<a href=\"java\tscript:steal()\">x</a>";
+        let (out, stats) = sanitize_html(html);
+        assert_eq!(stats.js_urls_removed, 1);
+        assert!(!out.contains("steal"));
+    }
+
+    #[test]
+    fn keeps_ordinary_on_words() {
+        // An attribute merely *containing* "on" must survive.
+        let html = r#"<div config="on" month="june">x</div>"#;
+        let (out, stats) = sanitize_html(html);
+        assert_eq!(stats.handlers_removed, 0);
+        assert!(out.contains("month"));
+    }
+
+    #[test]
+    fn closing_tags_and_comments_untouched() {
+        let html = "<!-- note --><p>x</p>";
+        let (out, stats) = sanitize_html(html);
+        assert_eq!(stats.total(), 0);
+        assert!(out.contains("<!-- note -->"));
+        assert!(out.contains("</p>"));
+    }
+
+    #[test]
+    fn handles_empty_and_textonly() {
+        assert_eq!(sanitize_html("").0, "");
+        assert_eq!(sanitize_html("plain text").0, "plain text");
+    }
+
+    #[test]
+    fn unterminated_tag_dropped() {
+        let (out, _) = sanitize_html("<p>ok</p><img src=");
+        assert!(out.contains("ok"));
+        assert!(!out.contains("img"));
+    }
+
+    #[test]
+    fn self_closing_preserved() {
+        let (out, _) = sanitize_html(r#"<br/><img src="x.png"/>"#);
+        assert!(out.contains("<br />") || out.contains("<br/>"), "{out}");
+        assert!(out.contains("/>"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Session tokens: the cookie-based authentication of paper §2.
+//!
+//! Tokens are `HMAC(server_secret, user || counter)` — unforgeable without
+//! the secret, and meaningless off-platform. The store maps live tokens to
+//! users; logout revokes.
+
+use crate::crypto;
+use crate::principal::UserId;
+use parking_lot::RwLock;
+use rand::RngCore;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cookie name used by the gateway.
+pub const SESSION_COOKIE: &str = "w5_session";
+
+/// Issues and validates session tokens.
+pub struct SessionStore {
+    secret: [u8; 32],
+    counter: AtomicU64,
+    live: RwLock<HashMap<String, UserId>>,
+}
+
+impl Default for SessionStore {
+    fn default() -> Self {
+        SessionStore::new()
+    }
+}
+
+impl SessionStore {
+    /// A store with a random per-instance secret.
+    pub fn new() -> SessionStore {
+        let mut secret = [0u8; 32];
+        rand::thread_rng().fill_bytes(&mut secret);
+        SessionStore { secret, counter: AtomicU64::new(0), live: RwLock::new(HashMap::new()) }
+    }
+
+    /// Issue a token for a user.
+    pub fn create(&self, user: UserId) -> String {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let mut msg = Vec::with_capacity(16);
+        msg.extend_from_slice(&user.0.to_be_bytes());
+        msg.extend_from_slice(&n.to_be_bytes());
+        let token = crypto::hex(&crypto::hmac_sha256(&self.secret, &msg));
+        self.live.write().insert(token.clone(), user);
+        token
+    }
+
+    /// Resolve a token to its user, if the session is live.
+    pub fn validate(&self, token: &str) -> Option<UserId> {
+        self.live.read().get(token).copied()
+    }
+
+    /// Revoke a token (logout). Returns true if it was live.
+    pub fn revoke(&self, token: &str) -> bool {
+        self.live.write().remove(token).is_some()
+    }
+
+    /// Revoke every session of a user.
+    pub fn revoke_user(&self, user: UserId) -> usize {
+        let mut live = self.live.write();
+        let before = live.len();
+        live.retain(|_, u| *u != user);
+        before - live.len()
+    }
+
+    /// Number of live sessions.
+    pub fn live_count(&self) -> usize {
+        self.live.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_validate_revoke() {
+        let s = SessionStore::new();
+        let t = s.create(UserId(7));
+        assert_eq!(s.validate(&t), Some(UserId(7)));
+        assert!(s.revoke(&t));
+        assert_eq!(s.validate(&t), None);
+        assert!(!s.revoke(&t));
+    }
+
+    #[test]
+    fn tokens_are_unique_and_unguessable_without_store() {
+        let s = SessionStore::new();
+        let t1 = s.create(UserId(1));
+        let t2 = s.create(UserId(1));
+        assert_ne!(t1, t2);
+        assert_eq!(t1.len(), 64);
+        assert_eq!(s.validate("0".repeat(64).as_str()), None);
+    }
+
+    #[test]
+    fn revoke_user_kills_all_sessions() {
+        let s = SessionStore::new();
+        let _t1 = s.create(UserId(1));
+        let _t2 = s.create(UserId(1));
+        let t3 = s.create(UserId(2));
+        assert_eq!(s.revoke_user(UserId(1)), 2);
+        assert_eq!(s.live_count(), 1);
+        assert_eq!(s.validate(&t3), Some(UserId(2)));
+    }
+
+    #[test]
+    fn different_stores_have_different_secrets() {
+        let a = SessionStore::new();
+        let b = SessionStore::new();
+        let t = a.create(UserId(1));
+        assert_eq!(b.validate(&t), None, "token from store A is dead in store B");
+    }
+}

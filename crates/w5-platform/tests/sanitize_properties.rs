@@ -1,0 +1,80 @@
+//! Property tests for the perimeter sanitizer: on *any* input — including
+//! deliberately broken markup — the output must carry no executable
+//! JavaScript, and the sanitizer must never panic.
+
+use proptest::prelude::*;
+use w5_platform::sanitize_html;
+
+/// Normalized form used to look for surviving payloads: whitespace and
+/// control characters stripped, lowercased (matching the obfuscations the
+/// sanitizer itself defends against).
+fn normalize(s: &str) -> String {
+    s.chars()
+        .filter(|c| !c.is_ascii_whitespace() && !c.is_control())
+        .collect::<String>()
+        .to_ascii_lowercase()
+}
+
+fn contains_executable_js(s: &str) -> bool {
+    let n = normalize(s);
+    n.contains("<script") || n.contains("javascript:")
+}
+
+fn arb_fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("<p>text</p>".to_string()),
+        Just("<script>evil()</script>".to_string()),
+        Just("<SCRIPT SRC=x>".to_string()),
+        Just("<img src=x onerror=evil()>".to_string()),
+        Just("<a href=\"javascript:evil()\">x</a>".to_string()),
+        Just("<a href=\"java\tscript:evil()\">x</a>".to_string()),
+        Just("<div".to_string()),                      // unterminated tag
+        Just("</p>".to_string()),
+        Just("<!-- <script> -->".to_string()),
+        Just("plain & text < with > noise".to_string()),
+        Just("<b onclick='x'".to_string()),            // broken attr
+        Just("\"quotes' and = signs".to_string()),
+        "[a-z<>/=\"' ]{0,24}",                          // junk soup
+    ]
+}
+
+proptest! {
+    /// No concatenation of fragments yields output with executable JS.
+    #[test]
+    fn output_never_contains_executable_js(
+        parts in proptest::collection::vec(arb_fragment(), 0..16)
+    ) {
+        let input: String = parts.concat();
+        let (output, _stats) = sanitize_html(&input);
+        prop_assert!(
+            !contains_executable_js(&output),
+            "payload survived: {output:?} from {input:?}"
+        );
+    }
+
+    /// Arbitrary unicode input never panics, and output JS-freedom holds.
+    #[test]
+    fn never_panics_on_arbitrary_input(input in ".{0,300}") {
+        let (output, _stats) = sanitize_html(&input);
+        prop_assert!(!contains_executable_js(&output));
+    }
+
+    /// Sanitizing is idempotent: a clean document stays byte-identical on
+    /// the second pass.
+    #[test]
+    fn idempotent(parts in proptest::collection::vec(arb_fragment(), 0..12)) {
+        let input: String = parts.concat();
+        let (once, _) = sanitize_html(&input);
+        let (twice, stats) = sanitize_html(&once);
+        prop_assert_eq!(once, twice);
+        prop_assert_eq!(stats.scripts_removed, 0);
+    }
+
+    /// Text with no markup at all passes through unchanged.
+    #[test]
+    fn plain_text_unchanged(input in "[a-zA-Z0-9 .,!?]{0,120}") {
+        let (output, stats) = sanitize_html(&input);
+        prop_assert_eq!(output, input);
+        prop_assert_eq!(stats.total(), 0);
+    }
+}

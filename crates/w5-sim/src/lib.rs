@@ -1,0 +1,29 @@
+//! # w5-sim — synthetic worlds for the W5 experiments
+//!
+//! The paper ships no dataset (it ships no evaluation at all), so the
+//! experiments run over controlled synthetic inputs:
+//!
+//! * [`socialgraph`] — Barabási–Albert and Watts–Strogatz friendship
+//!   graphs with the skew/clustering shapes real social networks show.
+//! * [`population`] — builds a ready-to-measure world on a platform:
+//!   users, friendships, delegations, grants, photos and posts.
+//! * [`depgraph`] — synthetic module-dependency graphs with a planted
+//!   trustworthy core, for the CodeRank quality experiment (E6).
+//! * [`workload`] — weighted request mixes for the throughput/latency
+//!   experiments (E4).
+//! * [`histogram`] — log-bucketed latency histograms with percentiles.
+//! * [`table`] — plain-text table rendering for experiment reports.
+//!
+//! Everything is seeded and deterministic.
+
+pub mod depgraph;
+pub mod histogram;
+pub mod population;
+pub mod socialgraph;
+pub mod table;
+pub mod workload;
+
+pub use histogram::Histogram;
+pub use population::{build_population, PopulationConfig, World};
+pub use table::Table;
+

@@ -1,0 +1,142 @@
+//! Build a ready-to-measure world on a platform instance.
+
+use crate::socialgraph::{barabasi_albert, SocialGraph};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use w5_platform::{Account, GrantScope, Platform};
+
+/// Population parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PopulationConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Preferential-attachment edges per user.
+    pub friends_m: usize,
+    /// Photos uploaded per user.
+    pub photos_per_user: usize,
+    /// Blog posts per user.
+    pub posts_per_user: usize,
+    /// Grant `friends-only` for every app to every user (the common case).
+    pub grant_friends_only: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            users: 20,
+            friends_m: 2,
+            photos_per_user: 2,
+            posts_per_user: 2,
+            grant_friends_only: true,
+            seed: 42,
+        }
+    }
+}
+
+/// The built world.
+pub struct World {
+    /// The platform (apps installed, users registered).
+    pub platform: Arc<Platform>,
+    /// Accounts in index order (`user0`, `user1`, …).
+    pub accounts: Vec<Account>,
+    /// The friendship graph used.
+    pub graph: SocialGraph,
+}
+
+/// Register users, wire friendships (both directions), delegate writes,
+/// grant declassifiers, and upload photos/posts through the real apps.
+pub fn build_population(platform: Arc<Platform>, config: PopulationConfig) -> World {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    w5_apps::install_all(&platform);
+
+    let accounts: Vec<Account> = (0..config.users)
+        .map(|i| {
+            platform
+                .accounts
+                .register(&format!("user{i}"), "pw")
+                .expect("register")
+        })
+        .collect();
+
+    let apps = ["devA/photos", "devB/blog", "devC/social", "devD/recommender", "devD/dating"];
+    for account in &accounts {
+        for app in apps {
+            platform.policies.enroll(account.id, app);
+            platform.policies.delegate_write(account.id, app);
+            if config.grant_friends_only {
+                platform
+                    .policies
+                    .grant_declassifier(account.id, "friends-only", GrantScope::App(app.into()));
+            }
+        }
+    }
+
+    let graph = barabasi_albert(config.users, config.friends_m.max(1), config.seed);
+    for &(a, b) in &graph.edges {
+        platform.add_friend(&accounts[a].username, &accounts[b].username);
+        platform.add_friend(&accounts[b].username, &accounts[a].username);
+    }
+
+    // Content, through the real application code paths.
+    let topics = ["jazz", "rust", "hiking", "cooking", "chess"];
+    for (i, account) in accounts.iter().enumerate() {
+        for p in 0..config.photos_per_user {
+            let req = Platform::make_request(
+                "POST",
+                "upload",
+                &[("name", &format!("photo{p}")), ("w", "8"), ("h", "8")],
+                Some(account),
+                Bytes::new(),
+            );
+            let r = platform.invoke(Some(account), "devA/photos", req);
+            assert_eq!(r.status, 200, "upload failed for user{i}: {:?}", r.body);
+        }
+        for p in 0..config.posts_per_user {
+            let topic = topics[rng.gen_range(0..topics.len())];
+            let req = Platform::make_request(
+                "POST",
+                "post",
+                &[
+                    ("title", &format!("post{p} about {topic}")),
+                    ("body", &format!("user{i} writes at length about {topic}")),
+                ],
+                Some(account),
+                Bytes::new(),
+            );
+            let r = platform.invoke(Some(account), "devB/blog", req);
+            assert_eq!(r.status, 200, "post failed for user{i}");
+        }
+    }
+
+    World { platform, accounts, graph }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_consistent_world() {
+        let w = build_population(Platform::new_default("sim"), PopulationConfig::default());
+        assert_eq!(w.accounts.len(), 20);
+        assert_eq!(w.platform.accounts.user_count(), 20);
+        // Content exists: photos on the fs, posts in the db.
+        assert!(w.platform.fs.file_count() >= 40, "{}", w.platform.fs.file_count());
+        assert!(w.platform.db.total_rows() >= 40 + w.graph.edges.len() * 2);
+        // A friend can view a friend's photo end to end.
+        let (a, b) = w.graph.edges[0];
+        let req = Platform::make_request(
+            "GET",
+            "view",
+            &[("user", &w.accounts[a].username), ("name", "photo0")],
+            Some(&w.accounts[b]),
+            Bytes::new(),
+        );
+        let r = w.platform.invoke(Some(&w.accounts[b]), "devA/photos", req);
+        assert_eq!(r.status, 200);
+    }
+}

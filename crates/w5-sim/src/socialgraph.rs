@@ -1,0 +1,155 @@
+//! Synthetic friendship graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected edge list over node indices `0..n`.
+#[derive(Clone, Debug)]
+pub struct SocialGraph {
+    /// Number of nodes.
+    pub n: usize,
+    /// Undirected edges (a < b).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl SocialGraph {
+    /// Per-node degree.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.n];
+        for &(a, b) in &self.edges {
+            d[a] += 1;
+            d[b] += 1;
+        }
+        d
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        self.degrees().into_iter().max().unwrap_or(0)
+    }
+
+    /// Average degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.edges.len() as f64 / self.n as f64
+        }
+    }
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches `m`
+/// edges, preferring high-degree targets — yields the heavy-tailed degree
+/// distribution of real social networks.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> SocialGraph {
+    assert!(m >= 1, "m must be at least 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    // Repeated-nodes list: picking uniformly from it IS preferential
+    // attachment.
+    let mut targets: Vec<usize> = Vec::new();
+    let seed_nodes = (m + 1).min(n);
+    // Start with a small clique.
+    for a in 0..seed_nodes {
+        for b in (a + 1)..seed_nodes {
+            edges.push((a, b));
+            targets.push(a);
+            targets.push(b);
+        }
+    }
+    for v in seed_nodes..n {
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while chosen.len() < m && guard < 100 * m {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != v {
+                chosen.insert(t);
+            }
+            guard += 1;
+        }
+        for &t in &chosen {
+            edges.push((t.min(v), t.max(v)));
+            targets.push(t);
+            targets.push(v);
+        }
+    }
+    SocialGraph { n, edges }
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbours per side,
+/// each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> SocialGraph {
+    assert!(k >= 1 && 2 * k < n, "need 1 <= k and 2k < n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for j in 1..=k {
+            let mut b = (a + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire to a uniform non-self target.
+                loop {
+                    let cand = rng.gen_range(0..n);
+                    if cand != a {
+                        b = cand;
+                        break;
+                    }
+                }
+            }
+            let (lo, hi) = (a.min(b), a.max(b));
+            if lo != hi {
+                edges.push((lo, hi));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    SocialGraph { n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ba_shape() {
+        let g = barabasi_albert(200, 3, 42);
+        assert_eq!(g.n, 200);
+        // Average degree ≈ 2m.
+        assert!((g.avg_degree() - 6.0).abs() < 1.5, "{}", g.avg_degree());
+        // Heavy tail: the max degree is far above the average.
+        assert!(g.max_degree() as f64 > 3.0 * g.avg_degree(), "{}", g.max_degree());
+    }
+
+    #[test]
+    fn ba_deterministic_per_seed() {
+        let a = barabasi_albert(100, 2, 7).edges;
+        let b = barabasi_albert(100, 2, 7).edges;
+        let c = barabasi_albert(100, 2, 8).edges;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ws_shape() {
+        let g = watts_strogatz(100, 3, 0.1, 1);
+        // Close to the lattice's n*k edges (rewiring can merge a few).
+        assert!(g.edges.len() > 280 && g.edges.len() <= 300, "{}", g.edges.len());
+        assert!((g.avg_degree() - 6.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn ws_beta_zero_is_pure_lattice() {
+        let g = watts_strogatz(10, 2, 0.0, 1);
+        assert_eq!(g.edges.len(), 20);
+        let d = g.degrees();
+        assert!(d.iter().all(|&x| x == 4), "{d:?}");
+    }
+
+    #[test]
+    fn no_self_loops() {
+        for g in [barabasi_albert(50, 2, 3), watts_strogatz(50, 2, 0.5, 3)] {
+            assert!(g.edges.iter().all(|&(a, b)| a != b));
+            assert!(g.edges.iter().all(|&(a, b)| a < b));
+        }
+    }
+}

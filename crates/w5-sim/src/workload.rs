@@ -1,0 +1,150 @@
+//! Weighted request mixes for the end-to-end experiments.
+
+use crate::population::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated request (decomposed; the harness builds the platform or
+//  HTTP request from it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenRequest {
+    /// Index of the acting user.
+    pub viewer: usize,
+    /// Application key.
+    pub app: String,
+    /// HTTP method.
+    pub method: &'static str,
+    /// App action.
+    pub action: &'static str,
+    /// Parameters.
+    pub params: Vec<(String, String)>,
+}
+
+/// Mix weights (relative).
+#[derive(Clone, Copy, Debug)]
+pub struct MixWeights {
+    /// View one of a friend's photos.
+    pub view_photo: u32,
+    /// List one's own photos.
+    pub list_photos: u32,
+    /// Read a friend's blog.
+    pub list_blog: u32,
+    /// Write a blog post.
+    pub write_post: u32,
+    /// Render the social feed.
+    pub feed: u32,
+}
+
+impl Default for MixWeights {
+    fn default() -> Self {
+        // A read-heavy web mix.
+        MixWeights { view_photo: 40, list_photos: 20, list_blog: 25, write_post: 5, feed: 10 }
+    }
+}
+
+/// Generate a deterministic request stream over a built world.
+pub fn generate(world: &World, weights: MixWeights, count: usize, seed: u64) -> Vec<GenRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = world.accounts.len();
+    let total = weights.view_photo + weights.list_photos + weights.list_blog + weights.write_post + weights.feed;
+    assert!(total > 0 && n > 0);
+
+    // Adjacency for friend picks.
+    let mut friends: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in &world.graph.edges {
+        friends[a].push(b);
+        friends[b].push(a);
+    }
+
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let viewer = rng.gen_range(0..n);
+        let friend = if friends[viewer].is_empty() {
+            viewer
+        } else {
+            friends[viewer][rng.gen_range(0..friends[viewer].len())]
+        };
+        let friend_name = world.accounts[friend].username.clone();
+        let my_name = world.accounts[viewer].username.clone();
+        let roll = rng.gen_range(0..total);
+        let req = if roll < weights.view_photo {
+            GenRequest {
+                viewer,
+                app: "devA/photos".into(),
+                method: "GET",
+                action: "view",
+                params: vec![("user".into(), friend_name), ("name".into(), "photo0".into())],
+            }
+        } else if roll < weights.view_photo + weights.list_photos {
+            GenRequest {
+                viewer,
+                app: "devA/photos".into(),
+                method: "GET",
+                action: "list",
+                params: vec![("user".into(), my_name)],
+            }
+        } else if roll < weights.view_photo + weights.list_photos + weights.list_blog {
+            GenRequest {
+                viewer,
+                app: "devB/blog".into(),
+                method: "GET",
+                action: "list",
+                params: vec![("user".into(), friend_name)],
+            }
+        } else if roll < total - weights.feed {
+            GenRequest {
+                viewer,
+                app: "devB/blog".into(),
+                method: "POST",
+                action: "post",
+                params: vec![
+                    ("title".into(), format!("t{}", rng.gen_range(0..1_000_000))),
+                    ("body".into(), "generated body text".into()),
+                ],
+            }
+        } else {
+            GenRequest {
+                viewer,
+                app: "devC/social".into(),
+                method: "GET",
+                action: "feed",
+                params: vec![],
+            }
+        };
+        out.push(req);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{build_population, PopulationConfig};
+    use w5_platform::Platform;
+
+    #[test]
+    fn mix_respects_weights_roughly() {
+        let world = build_population(
+            Platform::new_default("wl"),
+            PopulationConfig { users: 10, ..Default::default() },
+        );
+        let reqs = generate(&world, MixWeights::default(), 2000, 7);
+        assert_eq!(reqs.len(), 2000);
+        let views = reqs.iter().filter(|r| r.action == "view").count();
+        let posts = reqs.iter().filter(|r| r.action == "post").count();
+        // 40% vs 5% with slack.
+        assert!((600..1000).contains(&views), "{views}");
+        assert!((40..180).contains(&posts), "{posts}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let world = build_population(
+            Platform::new_default("wl2"),
+            PopulationConfig { users: 8, ..Default::default() },
+        );
+        let a = generate(&world, MixWeights::default(), 100, 1);
+        let b = generate(&world, MixWeights::default(), 100, 1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,178 @@
+//! Abstract syntax for the SQL subset.
+
+use super::value::{ColumnType, Value};
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type, …)`
+    CreateTable {
+        name: String,
+        columns: Vec<(String, ColumnType)>,
+    },
+    /// `DROP TABLE name`
+    DropTable { name: String },
+    /// `INSERT INTO name [(cols)] VALUES (…), (…)`
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `SELECT items FROM table [JOIN t2 ON a.x = b.y] [WHERE …]
+    /// [ORDER BY col [ASC|DESC]] [LIMIT n]`
+    Select {
+        items: Vec<SelectItem>,
+        table: String,
+        join: Option<Join>,
+        filter: Option<Expr>,
+        order_by: Option<(String, bool)>, // (column, ascending)
+        limit: Option<usize>,
+    },
+    /// `UPDATE table SET col = expr, … [WHERE …]`
+    Update {
+        table: String,
+        sets: Vec<(String, Expr)>,
+        filter: Option<Expr>,
+    },
+    /// `DELETE FROM table [WHERE …]`
+    Delete { table: String, filter: Option<Expr> },
+}
+
+/// An inner equi-join clause: `JOIN table ON left = right`, where `left`
+/// and `right` are qualified column references (`table.column`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Join {
+    /// The joined table.
+    pub table: String,
+    /// Qualified column from the left (FROM) table.
+    pub left: String,
+    /// Qualified column from the joined table.
+    pub right: String,
+}
+
+/// One item in a SELECT list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// A plain expression (usually a column reference).
+    Expr(Expr),
+    /// `COUNT(*)`
+    CountStar,
+    /// `COUNT(col)` — non-NULL count.
+    Count(String),
+    /// `SUM(col)`
+    Sum(String),
+    /// `MIN(col)`
+    Min(String),
+    /// `MAX(col)`
+    Max(String),
+}
+
+impl SelectItem {
+    /// Is this an aggregate? (Aggregates cannot mix with plain items here.)
+    pub fn is_aggregate(&self) -> bool {
+        !matches!(self, SelectItem::Wildcard | SelectItem::Expr(_))
+    }
+
+    /// Column header for result tables.
+    pub fn header(&self) -> String {
+        match self {
+            SelectItem::Wildcard => "*".to_string(),
+            SelectItem::Expr(Expr::Column(c)) => c.clone(),
+            SelectItem::Expr(_) => "expr".to_string(),
+            SelectItem::CountStar => "COUNT(*)".to_string(),
+            SelectItem::Count(c) => format!("COUNT({c})"),
+            SelectItem::Sum(c) => format!("SUM({c})"),
+            SelectItem::Min(c) => format!("MIN({c})"),
+            SelectItem::Max(c) => format!("MAX({c})"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Like,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference.
+    Column(String),
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// `col IS NULL` / `col IS NOT NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+}
+
+impl Expr {
+    /// All column names referenced by the expression (for validation).
+    pub fn columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Binary { left, right, .. } => {
+                left.columns(out);
+                right.columns(out);
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.columns(out),
+            Expr::IsNull { expr, .. } => expr.columns(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        assert!(SelectItem::CountStar.is_aggregate());
+        assert!(SelectItem::Sum("x".into()).is_aggregate());
+        assert!(!SelectItem::Wildcard.is_aggregate());
+        assert!(!SelectItem::Expr(Expr::Column("x".into())).is_aggregate());
+    }
+
+    #[test]
+    fn headers() {
+        assert_eq!(SelectItem::Count("a".into()).header(), "COUNT(a)");
+        assert_eq!(SelectItem::Expr(Expr::Column("nm".into())).header(), "nm");
+    }
+
+    #[test]
+    fn column_collection() {
+        let e = Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(Expr::Column("a".into())),
+            right: Box::new(Expr::Not(Box::new(Expr::Column("b".into())))),
+        };
+        let mut cols = Vec::new();
+        e.columns(&mut cols);
+        assert_eq!(cols, vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,790 @@
+//! Query execution over labeled rows.
+
+use super::ast::{BinOp, Expr, SelectItem, Statement};
+use super::lexer::SqlError;
+use super::parser::parse;
+use super::value::{like_match, ColumnType, Value};
+use crate::subject::Subject;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use w5_difc::LabelPair;
+
+/// How the engine treats rows the subject may not read. See the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryMode {
+    /// W5 semantics: unreadable rows are silently invisible.
+    Filtered,
+    /// Status-quo shared database: all rows visible to application SQL.
+    Naive,
+}
+
+/// Per-query resource budget (§3.5: the database must survive malicious
+/// queries). `max_rows_scanned` bounds the work one query may perform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Maximum number of row visits before the query is aborted.
+    pub max_rows_scanned: u64,
+}
+
+impl QueryCost {
+    /// Effectively unbounded (trusted callers / experiments).
+    pub fn unlimited() -> QueryCost {
+        QueryCost { max_rows_scanned: u64::MAX }
+    }
+
+    /// The platform default for untrusted application queries.
+    pub fn sandbox_default() -> QueryCost {
+        QueryCost { max_rows_scanned: 100_000 }
+    }
+}
+
+/// Execution errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryError {
+    /// Parse-time error.
+    Sql(SqlError),
+    /// Unknown table.
+    NoSuchTable(String),
+    /// Unknown column.
+    NoSuchColumn(String),
+    /// A value did not fit its column type.
+    TypeMismatch { column: String, expected: ColumnType },
+    /// A write touched a row the subject may not write.
+    WriteDenied,
+    /// The query exceeded its row-scan budget.
+    BudgetExhausted,
+    /// Runtime evaluation error (e.g. division by zero).
+    Eval(String),
+    /// The table already exists.
+    TableExists(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Sql(e) => write!(f, "{e}"),
+            QueryError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            QueryError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            QueryError::TypeMismatch { column, expected } => {
+                write!(f, "type mismatch for column {column}: expected {expected}")
+            }
+            QueryError::WriteDenied => write!(f, "write denied by label policy"),
+            QueryError::BudgetExhausted => write!(f, "query exceeded its scan budget"),
+            QueryError::Eval(m) => write!(f, "evaluation error: {m}"),
+            QueryError::TableExists(t) => write!(f, "table already exists: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<SqlError> for QueryError {
+    fn from(e: SqlError) -> Self {
+        QueryError::Sql(e)
+    }
+}
+
+/// A materialized result row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// Cell values, in result-column order.
+    pub values: Vec<Value>,
+    /// The stored row's labels (for SELECT results).
+    pub labels: LabelPair,
+}
+
+/// The result of executing a statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryOutput {
+    /// Result column headers (empty for DML).
+    pub columns: Vec<String>,
+    /// Result rows (empty for DML).
+    pub rows: Vec<Row>,
+    /// Combined labels of all data that contributed to the result. The
+    /// caller must taint the reading process with these labels.
+    pub labels: LabelPair,
+    /// Rows inserted/updated/deleted by DML.
+    pub affected: usize,
+    /// Row visits consumed (cost accounting).
+    pub scanned: u64,
+}
+
+#[derive(Clone, Debug)]
+struct StoredRow {
+    values: Vec<Value>,
+    labels: LabelPair,
+}
+
+#[derive(Clone, Debug)]
+struct Table {
+    columns: Vec<(String, ColumnType)>,
+    rows: Vec<StoredRow>,
+}
+
+impl Table {
+    fn col_index(&self, name: &str) -> Result<usize, QueryError> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| QueryError::NoSuchColumn(name.to_string()))
+    }
+}
+
+/// A labeled database. Cheap to clone (shared state).
+#[derive(Clone, Default)]
+pub struct Database {
+    tables: Arc<RwLock<HashMap<String, Table>>>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Parse and execute one statement.
+    ///
+    /// * `subject` — the acting process's labels/capabilities.
+    /// * `mode` — row-visibility semantics (see [`QueryMode`]).
+    /// * `cost` — scan budget.
+    /// * `insert_labels` — labels stamped on rows created by INSERT; must be
+    ///   writable by the subject.
+    pub fn execute(
+        &self,
+        subject: &Subject,
+        mode: QueryMode,
+        cost: QueryCost,
+        insert_labels: &LabelPair,
+        sql: &str,
+    ) -> Result<QueryOutput, QueryError> {
+        let stmt = parse(sql)?;
+        self.execute_stmt(subject, mode, cost, insert_labels, stmt)
+    }
+
+    /// Execute a pre-parsed statement (the hot path for benchmarks).
+    pub fn execute_stmt(
+        &self,
+        subject: &Subject,
+        mode: QueryMode,
+        cost: QueryCost,
+        insert_labels: &LabelPair,
+        stmt: Statement,
+    ) -> Result<QueryOutput, QueryError> {
+        match stmt {
+            Statement::CreateTable { name, columns } => self.create_table(&name, columns),
+            Statement::DropTable { name } => self.drop_table(subject, &name),
+            Statement::Insert { table, columns, rows } => {
+                self.insert(subject, insert_labels, &table, columns, rows)
+            }
+            Statement::Select { items, table, join, filter, order_by, limit } => {
+                self.select(subject, mode, cost, &table, join, items, filter, order_by, limit)
+            }
+            Statement::Update { table, sets, filter } => {
+                self.update(subject, mode, cost, &table, sets, filter)
+            }
+            Statement::Delete { table, filter } => {
+                self.delete(subject, mode, cost, &table, filter)
+            }
+        }
+    }
+
+    /// Names of all tables (schema metadata is public).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Total stored rows across tables (trusted accounting).
+    pub fn total_rows(&self) -> usize {
+        self.tables.read().values().map(|t| t.rows.len()).sum()
+    }
+
+    fn create_table(
+        &self,
+        name: &str,
+        columns: Vec<(String, ColumnType)>,
+    ) -> Result<QueryOutput, QueryError> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(QueryError::TableExists(name.to_string()));
+        }
+        tables.insert(name.to_string(), Table { columns, rows: Vec::new() });
+        Ok(empty_output())
+    }
+
+    fn drop_table(&self, subject: &Subject, name: &str) -> Result<QueryOutput, QueryError> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get(name)
+            .ok_or_else(|| QueryError::NoSuchTable(name.to_string()))?;
+        // Dropping destroys every row, so it is a write to each of them.
+        // The check is uniform over all rows (visible or not) to avoid
+        // turning DROP into an existence oracle.
+        if !t.rows.iter().all(|r| subject.may_write(&r.labels)) {
+            return Err(QueryError::WriteDenied);
+        }
+        tables.remove(name);
+        Ok(empty_output())
+    }
+
+    fn insert(
+        &self,
+        subject: &Subject,
+        insert_labels: &LabelPair,
+        table: &str,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+    ) -> Result<QueryOutput, QueryError> {
+        if !subject.may_write(insert_labels) {
+            return Err(QueryError::WriteDenied);
+        }
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| QueryError::NoSuchTable(table.to_string()))?;
+        // Resolve the column order once.
+        let idxs: Vec<usize> = match &columns {
+            Some(cols) => cols
+                .iter()
+                .map(|c| t.col_index(c))
+                .collect::<Result<_, _>>()?,
+            None => (0..t.columns.len()).collect(),
+        };
+        let mut staged = Vec::with_capacity(rows.len());
+        for exprs in &rows {
+            if exprs.len() != idxs.len() {
+                return Err(QueryError::Eval(format!(
+                    "expected {} values, got {}",
+                    idxs.len(),
+                    exprs.len()
+                )));
+            }
+            let mut values = vec![Value::Null; t.columns.len()];
+            for (expr, &ix) in exprs.iter().zip(&idxs) {
+                let v = eval_const(expr)?;
+                let (ref cname, cty) = t.columns[ix];
+                if !v.fits(cty) {
+                    return Err(QueryError::TypeMismatch { column: cname.clone(), expected: cty });
+                }
+                values[ix] = v;
+            }
+            staged.push(StoredRow { values, labels: insert_labels.clone() });
+        }
+        let n = staged.len();
+        t.rows.extend(staged);
+        Ok(QueryOutput { affected: n, ..empty_output() })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn select(
+        &self,
+        subject: &Subject,
+        mode: QueryMode,
+        cost: QueryCost,
+        table: &str,
+        join: Option<crate::sql::ast::Join>,
+        items: Vec<SelectItem>,
+        filter: Option<Expr>,
+        order_by: Option<(String, bool)>,
+        limit: Option<usize>,
+    ) -> Result<QueryOutput, QueryError> {
+        let tables = self.tables.read();
+        let t = tables
+            .get(table)
+            .ok_or_else(|| QueryError::NoSuchTable(table.to_string()))?;
+
+        // With a JOIN, materialize the (visibility-filtered) combined
+        // relation first; the rest of the pipeline is shared.
+        let joined: Option<Table> = match &join {
+            None => None,
+            Some(j) => {
+                let t2 = tables
+                    .get(&j.table)
+                    .ok_or_else(|| QueryError::NoSuchTable(j.table.clone()))?;
+                Some(join_tables(subject, mode, cost, table, t, &j.table, t2, &j.left, &j.right)?)
+            }
+        };
+        let t = joined.as_ref().unwrap_or(t);
+
+        validate_columns(t, filter.as_ref())?;
+
+        let mut scanned = 0u64;
+        let mut hits: Vec<&StoredRow> = Vec::new();
+        for row in &t.rows {
+            scanned += 1;
+            if scanned > cost.max_rows_scanned {
+                return Err(QueryError::BudgetExhausted);
+            }
+            if mode == QueryMode::Filtered && !subject.may_read(&row.labels) {
+                continue;
+            }
+            if let Some(f) = &filter {
+                if !eval(f, t, &row.values)?.is_truthy() {
+                    continue;
+                }
+            }
+            hits.push(row);
+        }
+
+        if let Some((col, asc)) = &order_by {
+            let ix = t.col_index(col)?;
+            hits.sort_by(|a, b| {
+                let ord = a.values[ix].order(&b.values[ix]);
+                if *asc {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        }
+        if let Some(n) = limit {
+            hits.truncate(n);
+        }
+
+        // Combined labels over contributing rows.
+        let labels = combine_labels(hits.iter().map(|r| &r.labels));
+
+        let is_agg = items.iter().any(SelectItem::is_aggregate);
+        if is_agg {
+            let mut values = Vec::with_capacity(items.len());
+            let mut headers = Vec::with_capacity(items.len());
+            for item in &items {
+                headers.push(item.header());
+                values.push(aggregate(item, t, &hits)?);
+            }
+            return Ok(QueryOutput {
+                columns: headers,
+                rows: vec![Row { values, labels: labels.clone() }],
+                labels,
+                affected: 0,
+                scanned,
+            });
+        }
+
+        // Plain projection.
+        let mut headers = Vec::new();
+        let mut proj: Vec<Projection> = Vec::new();
+        for item in &items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (i, (name, _)) in t.columns.iter().enumerate() {
+                        headers.push(name.clone());
+                        proj.push(Projection::Col(i));
+                    }
+                }
+                SelectItem::Expr(Expr::Column(c)) => {
+                    headers.push(c.clone());
+                    proj.push(Projection::Col(t.col_index(c)?));
+                }
+                SelectItem::Expr(e) => {
+                    let mut cols = Vec::new();
+                    e.columns(&mut cols);
+                    for c in &cols {
+                        t.col_index(c)?;
+                    }
+                    headers.push(item.header());
+                    proj.push(Projection::Expr(e.clone()));
+                }
+                _ => unreachable!("aggregates handled above"),
+            }
+        }
+        let mut rows = Vec::with_capacity(hits.len());
+        for r in &hits {
+            let mut values = Vec::with_capacity(proj.len());
+            for p in &proj {
+                values.push(match p {
+                    Projection::Col(i) => r.values[*i].clone(),
+                    Projection::Expr(e) => eval(e, t, &r.values)?,
+                });
+            }
+            rows.push(Row { values, labels: r.labels.clone() });
+        }
+        Ok(QueryOutput { columns: headers, rows, labels, affected: 0, scanned })
+    }
+
+    fn update(
+        &self,
+        subject: &Subject,
+        mode: QueryMode,
+        cost: QueryCost,
+        table: &str,
+        sets: Vec<(String, Expr)>,
+        filter: Option<Expr>,
+    ) -> Result<QueryOutput, QueryError> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| QueryError::NoSuchTable(table.to_string()))?;
+        validate_columns(t, filter.as_ref())?;
+        let set_idx: Vec<(usize, Expr)> = sets
+            .into_iter()
+            .map(|(c, e)| t.col_index(&c).map(|i| (i, e)))
+            .collect::<Result<_, _>>()?;
+
+        let mut scanned = 0u64;
+        let mut affected = 0usize;
+        // Two passes: decide, then apply — so a WriteDenied aborts the whole
+        // statement atomically.
+        let mut to_update = Vec::new();
+        for (ri, row) in t.rows.iter().enumerate() {
+            scanned += 1;
+            if scanned > cost.max_rows_scanned {
+                return Err(QueryError::BudgetExhausted);
+            }
+            if mode == QueryMode::Filtered && !subject.may_read(&row.labels) {
+                continue;
+            }
+            if let Some(f) = &filter {
+                if !eval(f, t, &row.values)?.is_truthy() {
+                    continue;
+                }
+            }
+            if !subject.may_write(&row.labels) {
+                return Err(QueryError::WriteDenied);
+            }
+            to_update.push(ri);
+        }
+        // Precompute new values (set expressions may reference old values).
+        let mut staged: Vec<(usize, Vec<(usize, Value)>)> = Vec::with_capacity(to_update.len());
+        for &ri in &to_update {
+            let row = &t.rows[ri];
+            let mut cells = Vec::with_capacity(set_idx.len());
+            for (ci, e) in &set_idx {
+                let v = eval(e, t, &row.values)?;
+                let (ref cname, cty) = t.columns[*ci];
+                if !v.fits(cty) {
+                    return Err(QueryError::TypeMismatch { column: cname.clone(), expected: cty });
+                }
+                cells.push((*ci, v));
+            }
+            staged.push((ri, cells));
+        }
+        for (ri, cells) in staged {
+            for (ci, v) in cells {
+                t.rows[ri].values[ci] = v;
+            }
+            affected += 1;
+        }
+        Ok(QueryOutput { affected, scanned, ..empty_output() })
+    }
+
+    fn delete(
+        &self,
+        subject: &Subject,
+        mode: QueryMode,
+        cost: QueryCost,
+        table: &str,
+        filter: Option<Expr>,
+    ) -> Result<QueryOutput, QueryError> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| QueryError::NoSuchTable(table.to_string()))?;
+        validate_columns(t, filter.as_ref())?;
+        // Mark pass (immutable), then sweep — so WriteDenied and budget
+        // errors abort the statement without partial effects.
+        let mut scanned = 0u64;
+        let mut doomed = vec![false; t.rows.len()];
+        for (ri, row) in t.rows.iter().enumerate() {
+            scanned += 1;
+            if scanned > cost.max_rows_scanned {
+                return Err(QueryError::BudgetExhausted);
+            }
+            if mode == QueryMode::Filtered && !subject.may_read(&row.labels) {
+                continue;
+            }
+            if let Some(f) = &filter {
+                if !eval(f, t, &row.values)?.is_truthy() {
+                    continue;
+                }
+            }
+            if !subject.may_write(&row.labels) {
+                return Err(QueryError::WriteDenied);
+            }
+            doomed[ri] = true;
+        }
+        let affected = doomed.iter().filter(|&&d| d).count();
+        let mut ri = 0;
+        t.rows.retain(|_| {
+            let keep = !doomed[ri];
+            ri += 1;
+            keep
+        });
+        Ok(QueryOutput { affected, scanned, ..empty_output() })
+    }
+}
+
+enum Projection {
+    Col(usize),
+    Expr(Expr),
+}
+
+/// Materialize an inner equi-join as a temporary table whose columns are
+/// qualified (`left.col`, `right.col`). Row labels combine the two source
+/// rows' labels — derived data carries both provenances. Visibility
+/// filtering happens per *source* row, so invisible rows can never
+/// influence the join output.
+#[allow(clippy::too_many_arguments)]
+fn join_tables(
+    subject: &Subject,
+    mode: QueryMode,
+    cost: QueryCost,
+    lname: &str,
+    left: &Table,
+    rname: &str,
+    right: &Table,
+    on_left: &str,
+    on_right: &str,
+) -> Result<Table, QueryError> {
+    if lname == rname {
+        return Err(QueryError::Eval("self-joins are not supported".into()));
+    }
+    let mut columns: Vec<(String, ColumnType)> = Vec::new();
+    for (n, ty) in &left.columns {
+        columns.push((format!("{lname}.{n}"), *ty));
+    }
+    for (n, ty) in &right.columns {
+        columns.push((format!("{rname}.{n}"), *ty));
+    }
+    let strip = |qualified: &str, table: &str| -> Option<String> {
+        qualified
+            .strip_prefix(table)
+            .and_then(|rest| rest.strip_prefix('.'))
+            .map(str::to_string)
+    };
+    let lcol = strip(on_left, lname)
+        .ok_or_else(|| QueryError::NoSuchColumn(on_left.to_string()))?;
+    let rcol = strip(on_right, rname)
+        .ok_or_else(|| QueryError::NoSuchColumn(on_right.to_string()))?;
+    let li = left.col_index(&lcol)?;
+    let ri = right.col_index(&rcol)?;
+
+    let visible = |rows: &[StoredRow]| -> Vec<usize> {
+        rows.iter()
+            .enumerate()
+            .filter(|(_, r)| mode == QueryMode::Naive || subject.may_read(&r.labels))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let lvis = visible(&left.rows);
+    let rvis = visible(&right.rows);
+
+    // Nested-loop join with the pair count charged against the budget.
+    let pairs = lvis.len() as u64 * rvis.len() as u64;
+    if pairs > cost.max_rows_scanned {
+        return Err(QueryError::BudgetExhausted);
+    }
+    let mut rows = Vec::new();
+    for &a in &lvis {
+        let lrow = &left.rows[a];
+        for &b in &rvis {
+            let rrow = &right.rows[b];
+            if lrow.values[li].sql_eq(&rrow.values[ri]) != Value::Bool(true) {
+                continue;
+            }
+            let mut values = Vec::with_capacity(columns.len());
+            values.extend(lrow.values.iter().cloned());
+            values.extend(rrow.values.iter().cloned());
+            rows.push(StoredRow { values, labels: lrow.labels.combine(&rrow.labels) });
+        }
+    }
+    Ok(Table { columns, rows })
+}
+
+fn empty_output() -> QueryOutput {
+    QueryOutput {
+        columns: Vec::new(),
+        rows: Vec::new(),
+        labels: LabelPair::public(),
+        affected: 0,
+        scanned: 0,
+    }
+}
+
+/// Validate that every column a filter references exists, so "no such
+/// column" errors surface deterministically (not only when a row matches).
+fn validate_columns(t: &Table, filter: Option<&Expr>) -> Result<(), QueryError> {
+    if let Some(f) = filter {
+        let mut cols = Vec::new();
+        f.columns(&mut cols);
+        for c in &cols {
+            t.col_index(c)?;
+        }
+    }
+    Ok(())
+}
+
+fn combine_labels<'a, I: Iterator<Item = &'a LabelPair>>(mut labels: I) -> LabelPair {
+    match labels.next() {
+        None => LabelPair::public(),
+        Some(first) => labels.fold(first.clone(), |acc, l| acc.combine(l)),
+    }
+}
+
+fn eval(expr: &Expr, table: &Table, row: &[Value]) -> Result<Value, QueryError> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(c) => {
+            let i = table.col_index(c)?;
+            Ok(row[i].clone())
+        }
+        Expr::Not(e) => {
+            let v = eval(e, table, row)?;
+            Ok(Value::Bool(!v.is_truthy()))
+        }
+        Expr::Neg(e) => match eval(e, table, row)? {
+            Value::Int(i) => Ok(Value::Int(
+                i.checked_neg().ok_or_else(|| QueryError::Eval("integer overflow".into()))?,
+            )),
+            Value::Null => Ok(Value::Null),
+            _ => Err(QueryError::Eval("cannot negate a non-integer".into())),
+        },
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, table, row)?;
+            let isnull = matches!(v, Value::Null);
+            Ok(Value::Bool(isnull != *negated))
+        }
+        Expr::Binary { op, left, right } => {
+            use BinOp::*;
+            // Short-circuit logic first.
+            if *op == And {
+                let l = eval(left, table, row)?;
+                if !l.is_truthy() {
+                    return Ok(Value::Bool(false));
+                }
+                return Ok(Value::Bool(eval(right, table, row)?.is_truthy()));
+            }
+            if *op == Or {
+                let l = eval(left, table, row)?;
+                if l.is_truthy() {
+                    return Ok(Value::Bool(true));
+                }
+                return Ok(Value::Bool(eval(right, table, row)?.is_truthy()));
+            }
+            let l = eval(left, table, row)?;
+            let r = eval(right, table, row)?;
+            if matches!(l, Value::Null) || matches!(r, Value::Null) {
+                return Ok(Value::Null);
+            }
+            match op {
+                Eq => Ok(l.sql_eq(&r)),
+                NotEq => match l.sql_eq(&r) {
+                    Value::Bool(b) => Ok(Value::Bool(!b)),
+                    v => Ok(v),
+                },
+                Lt | LtEq | Gt | GtEq => {
+                    let ord = match (&l, &r) {
+                        (Value::Int(a), Value::Int(b)) => a.cmp(b),
+                        (Value::Text(a), Value::Text(b)) => a.cmp(b),
+                        _ => return Err(QueryError::Eval("incomparable values".into())),
+                    };
+                    Ok(Value::Bool(match op {
+                        Lt => ord.is_lt(),
+                        LtEq => ord.is_le(),
+                        Gt => ord.is_gt(),
+                        GtEq => ord.is_ge(),
+                        _ => unreachable!(),
+                    }))
+                }
+                Like => match (&l, &r) {
+                    (Value::Text(t), Value::Text(p)) => Ok(Value::Bool(like_match(t, p))),
+                    _ => Err(QueryError::Eval("LIKE needs text operands".into())),
+                },
+                Add | Sub | Mul | Div | Mod => {
+                    let (a, b) = match (&l, &r) {
+                        (Value::Int(a), Value::Int(b)) => (*a, *b),
+                        _ => return Err(QueryError::Eval("arithmetic needs integers".into())),
+                    };
+                    let out = match op {
+                        Add => a.checked_add(b),
+                        Sub => a.checked_sub(b),
+                        Mul => a.checked_mul(b),
+                        Div => {
+                            if b == 0 {
+                                return Err(QueryError::Eval("division by zero".into()));
+                            }
+                            a.checked_div(b)
+                        }
+                        Mod => {
+                            if b == 0 {
+                                return Err(QueryError::Eval("modulo by zero".into()));
+                            }
+                            a.checked_rem(b)
+                        }
+                        _ => unreachable!(),
+                    };
+                    out.map(Value::Int)
+                        .ok_or_else(|| QueryError::Eval("integer overflow".into()))
+                }
+                And | Or => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+/// Evaluate an expression with no row context (INSERT values).
+fn eval_const(expr: &Expr) -> Result<Value, QueryError> {
+    static EMPTY: Table = Table { columns: Vec::new(), rows: Vec::new() };
+    eval(expr, &EMPTY, &[])
+}
+
+fn aggregate(item: &SelectItem, t: &Table, hits: &[&StoredRow]) -> Result<Value, QueryError> {
+    match item {
+        SelectItem::CountStar => Ok(Value::Int(hits.len() as i64)),
+        SelectItem::Count(c) => {
+            let i = t.col_index(c)?;
+            Ok(Value::Int(
+                hits.iter().filter(|r| !matches!(r.values[i], Value::Null)).count() as i64,
+            ))
+        }
+        SelectItem::Sum(c) => {
+            let i = t.col_index(c)?;
+            let mut sum = 0i64;
+            let mut any = false;
+            for r in hits {
+                match &r.values[i] {
+                    Value::Int(v) => {
+                        sum = sum
+                            .checked_add(*v)
+                            .ok_or_else(|| QueryError::Eval("SUM overflow".into()))?;
+                        any = true;
+                    }
+                    Value::Null => {}
+                    _ => return Err(QueryError::Eval("SUM needs an integer column".into())),
+                }
+            }
+            Ok(if any { Value::Int(sum) } else { Value::Null })
+        }
+        SelectItem::Min(c) | SelectItem::Max(c) => {
+            let i = t.col_index(c)?;
+            let want_min = matches!(item, SelectItem::Min(_));
+            let mut best: Option<Value> = None;
+            for r in hits {
+                let v = &r.values[i];
+                if matches!(v, Value::Null) {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v.clone(),
+                    Some(b) => {
+                        let take_new = if want_min {
+                            v.order(&b).is_lt()
+                        } else {
+                            v.order(&b).is_gt()
+                        };
+                        if take_new {
+                            v.clone()
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        _ => unreachable!("not an aggregate"),
+    }
+}

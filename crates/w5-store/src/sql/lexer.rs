@@ -1,0 +1,299 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+/// Lexical / syntactic errors, with a byte offset into the query text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset where it went wrong.
+    pub offset: usize,
+}
+
+impl SqlError {
+    pub(crate) fn new(message: impl Into<String>, offset: usize) -> SqlError {
+        SqlError { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// One token, with its source offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are case-insensitive and lexed as [`TokenKind::Word`]
+/// then matched upward by the parser; operators and punctuation get their own
+/// variants.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (stored uppercased for keywords comparison,
+    /// original in `.1` for identifiers).
+    Word(String, String),
+    /// Integer literal.
+    Number(i64),
+    /// String literal (quotes removed, `''` unescaped).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    /// `.` — qualified column references (`table.column`).
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenize a query string.
+pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token { kind: TokenKind::Plus, offset: start });
+                i += 1;
+            }
+            '-' => {
+                // `--` starts a comment to end of line.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token { kind: TokenKind::Minus, offset: start });
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push(Token { kind: TokenKind::Slash, offset: start });
+                i += 1;
+            }
+            '%' => {
+                out.push(Token { kind: TokenKind::Percent, offset: start });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Eq, offset: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::NotEq, offset: start });
+                    i += 2;
+                } else {
+                    return Err(SqlError::new("expected '=' after '!'", start));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push(Token { kind: TokenKind::LtEq, offset: start });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    out.push(Token { kind: TokenKind::NotEq, offset: start });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::GtEq, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::new("unterminated string literal", start)),
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            // Keep multi-byte UTF-8 intact by copying bytes;
+                            // validity is guaranteed because input is &str.
+                            let ch_len = utf8_len(b);
+                            s.push_str(&input[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let n: i64 = input[i..j]
+                    .parse()
+                    .map_err(|_| SqlError::new("integer literal out of range", start))?;
+                out.push(Token { kind: TokenKind::Number(n), offset: start });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[i..j];
+                out.push(Token {
+                    kind: TokenKind::Word(word.to_ascii_uppercase(), word.to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(SqlError::new(format!("unexpected character {other:?}"), start));
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        lex(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_and_numbers() {
+        let k = kinds("SELECT x FROM t WHERE x >= 10");
+        assert_eq!(k[0], TokenKind::Word("SELECT".into(), "SELECT".into()));
+        assert_eq!(k[1], TokenKind::Word("X".into(), "x".into()));
+        assert!(k.contains(&TokenKind::GtEq));
+        assert!(k.contains(&TokenKind::Number(10)));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let k = kinds("'it''s'");
+        assert_eq!(k[0], TokenKind::Str("it's".into()));
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let k = kinds("'héllo✓'");
+        assert_eq!(k[0], TokenKind::Str("héllo✓".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let k = kinds("= != <> < <= > >= + - * / %");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("SELECT 1 -- trailing comment\n, 2");
+        assert!(k.contains(&TokenKind::Number(2)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("!x").is_err());
+        assert!(lex("99999999999999999999999").is_err());
+        assert!(lex("@").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = lex("SELECT  x").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 8);
+    }
+}

@@ -1,0 +1,41 @@
+//! The labeled SQL-subset engine.
+//!
+//! Supported statements:
+//!
+//! ```sql
+//! CREATE TABLE t (id INTEGER, name TEXT, ok BOOLEAN)
+//! DROP TABLE t
+//! INSERT INTO t (id, name, ok) VALUES (1, 'x', TRUE), (2, 'y', FALSE)
+//! SELECT * FROM t WHERE id >= 1 AND name LIKE 'x%' ORDER BY id DESC LIMIT 10
+//! SELECT COUNT(*), SUM(id), MIN(id), MAX(id) FROM t
+//! UPDATE t SET name = 'z' WHERE id = 2
+//! DELETE FROM t WHERE ok = FALSE
+//! ```
+//!
+//! Every stored row carries a [`w5_difc::LabelPair`]. The execution mode
+//! decides what happens when a query touches rows the subject may not read:
+//!
+//! * [`QueryMode::Filtered`] — the W5 semantics. Unreadable rows are
+//!   *silently absent* from scans, counts and aggregates; results carry the
+//!   combined labels of every row that contributed, so the platform taints
+//!   the reader accordingly. The query observably behaves as if secret rows
+//!   did not exist.
+//! * [`QueryMode::Naive`] — the status-quo shared database: scans and
+//!   aggregates see all rows. This is the covert channel of paper §3.5,
+//!   kept so experiment E9 can measure its bandwidth.
+//!
+//! Every query runs under a [`QueryCost`] budget; a pathological query is
+//! aborted once it has visited its row budget ("prevent malicious queries
+//! from locking the database", §3.5).
+
+mod ast;
+mod exec;
+mod lexer;
+mod parser;
+mod value;
+
+pub use ast::{Expr, SelectItem, Statement};
+pub use exec::{Database, QueryCost, QueryError, QueryMode, QueryOutput, Row};
+pub use lexer::SqlError;
+pub use parser::parse;
+pub use value::{ColumnType, Value};

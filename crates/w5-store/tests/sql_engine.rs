@@ -1,0 +1,492 @@
+//! End-to-end tests of the labeled SQL engine: CRUD, label filtering,
+//! naive-vs-filtered covert-channel semantics, budgets and atomicity.
+
+use std::sync::Arc;
+use w5_difc::{CapSet, Label, LabelPair, TagKind, TagRegistry};
+use w5_store::{Database, QueryCost, QueryError, QueryMode, Subject, Value};
+
+struct World {
+    db: Database,
+    /// Bob: owns his export tag (can declassify) and write tag (can endorse).
+    bob: Subject,
+    bob_rows: LabelPair,
+    /// An unprivileged application.
+    app: Subject,
+    /// Alice, another user.
+    alice: Subject,
+    alice_rows: LabelPair,
+}
+
+fn world() -> World {
+    let reg = Arc::new(TagRegistry::new());
+    let (e_bob, mut bob_caps) = reg.create_tag(TagKind::ExportProtect, "export:bob");
+    let (w_bob, w1) = reg.create_tag(TagKind::WriteProtect, "write:bob");
+    bob_caps.extend(&w1);
+    let (e_alice, mut alice_caps) = reg.create_tag(TagKind::ExportProtect, "export:alice");
+    let (w_alice, w2) = reg.create_tag(TagKind::WriteProtect, "write:alice");
+    alice_caps.extend(&w2);
+
+    let bob = Subject::new(
+        LabelPair::new(Label::empty(), Label::singleton(w_bob)),
+        reg.effective(&bob_caps),
+    );
+    let alice = Subject::new(
+        LabelPair::new(Label::empty(), Label::singleton(w_alice)),
+        reg.effective(&alice_caps),
+    );
+    let app = Subject::new(LabelPair::public(), reg.effective(&CapSet::empty()));
+
+    World {
+        db: Database::new(),
+        bob,
+        bob_rows: LabelPair::new(Label::singleton(e_bob), Label::singleton(w_bob)),
+        app,
+        alice,
+        alice_rows: LabelPair::new(Label::singleton(e_alice), Label::singleton(w_alice)),
+    }
+}
+
+fn run(
+    w: &World,
+    subj: &Subject,
+    labels: &LabelPair,
+    sql: &str,
+) -> Result<w5_store::QueryOutput, QueryError> {
+    w.db
+        .execute(subj, QueryMode::Filtered, QueryCost::unlimited(), labels, sql)
+}
+
+#[test]
+fn create_insert_select() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE photos (id INTEGER, title TEXT, private BOOLEAN)").unwrap();
+    let out = run(
+        &w,
+        &w.bob,
+        &w.bob_rows,
+        "INSERT INTO photos (id, title, private) VALUES (1, 'cat', FALSE), (2, 'dog', TRUE)",
+    )
+    .unwrap();
+    assert_eq!(out.affected, 2);
+    let out = run(&w, &w.bob, &LabelPair::public(), "SELECT id, title FROM photos ORDER BY id").unwrap();
+    assert_eq!(out.columns, vec!["id", "title"]);
+    assert_eq!(out.rows.len(), 2);
+    assert_eq!(out.rows[0].values, vec![Value::Int(1), Value::Text("cat".into())]);
+    // The result carries Bob's labels: the platform will taint the reader.
+    assert_eq!(out.labels, w.bob_rows);
+}
+
+#[test]
+fn where_order_limit_like() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE t (n INTEGER, s TEXT)").unwrap();
+    for i in 0..20 {
+        run(
+            &w,
+            &w.bob,
+            &w.bob_rows,
+            &format!("INSERT INTO t (n, s) VALUES ({i}, 'item_{i}')"),
+        )
+        .unwrap();
+    }
+    let out = run(
+        &w,
+        &w.bob,
+        &LabelPair::public(),
+        "SELECT n FROM t WHERE n % 2 = 0 AND s LIKE 'item%' ORDER BY n DESC LIMIT 3",
+    )
+    .unwrap();
+    let ns: Vec<i64> = out
+        .rows
+        .iter()
+        .map(|r| match r.values[0] {
+            Value::Int(i) => i,
+            _ => panic!(),
+        })
+        .collect();
+    assert_eq!(ns, vec![18, 16, 14]);
+}
+
+#[test]
+fn aggregates() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE t (n INTEGER)").unwrap();
+    run(&w, &w.bob, &w.bob_rows, "INSERT INTO t VALUES (1), (2), (3), (NULL)").unwrap();
+    let out = run(
+        &w,
+        &w.bob,
+        &LabelPair::public(),
+        "SELECT COUNT(*), COUNT(n), SUM(n), MIN(n), MAX(n) FROM t",
+    )
+    .unwrap();
+    assert_eq!(
+        out.rows[0].values,
+        vec![Value::Int(4), Value::Int(3), Value::Int(6), Value::Int(1), Value::Int(3)]
+    );
+}
+
+#[test]
+fn filtered_mode_hides_other_users_rows() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE inbox (owner TEXT, body TEXT)").unwrap();
+    run(&w, &w.bob, &w.bob_rows, "INSERT INTO inbox VALUES ('bob', 'bob secret')").unwrap();
+    run(&w, &w.alice, &w.alice_rows, "INSERT INTO inbox VALUES ('alice', 'alice secret')").unwrap();
+
+    // The unprivileged app *can* read both (export tags are raise-free), and
+    // the result labels then carry BOTH users' tags.
+    let out = run(&w, &w.app, &LabelPair::public(), "SELECT body FROM inbox").unwrap();
+    assert_eq!(out.rows.len(), 2);
+    assert_eq!(out.labels.secrecy.len(), 2);
+
+    // Alice, whose capabilities only cover her own tag… also reads both:
+    // export protection is about *export*, not read. But a subject already
+    // carrying conflicting labels is a different story — covered in the
+    // covert-channel test below via ReadProtect.
+    let out = run(&w, &w.alice, &LabelPair::public(), "SELECT COUNT(*) FROM inbox").unwrap();
+    assert_eq!(out.rows[0].values, vec![Value::Int(2)]);
+}
+
+#[test]
+fn read_protected_rows_are_invisible_and_uncountable() {
+    let reg = Arc::new(TagRegistry::new());
+    let (r, owner_caps) = reg.create_tag(TagKind::ReadProtect, "read:alice");
+    let alice = Subject::new(LabelPair::public(), reg.effective(&owner_caps));
+    let stranger = Subject::new(LabelPair::public(), reg.effective(&CapSet::empty()));
+    let db = Database::new();
+    let secret = LabelPair::new(Label::singleton(r), Label::empty());
+
+    db.execute(&alice, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "CREATE TABLE diary (day INTEGER, entry TEXT)").unwrap();
+    db.execute(&alice, QueryMode::Filtered, QueryCost::unlimited(), &secret,
+        "INSERT INTO diary VALUES (1, 'secret thoughts')").unwrap();
+
+    // Filtered mode: the stranger sees an empty table — COUNT included.
+    let out = db.execute(&stranger, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "SELECT COUNT(*) FROM diary").unwrap();
+    assert_eq!(out.rows[0].values, vec![Value::Int(0)]);
+    let out = db.execute(&stranger, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "SELECT * FROM diary").unwrap();
+    assert!(out.rows.is_empty());
+    assert!(out.labels.is_public(), "empty result must not carry labels");
+
+    // Naive mode: the count leaks — this is the §3.5 covert channel.
+    let out = db.execute(&stranger, QueryMode::Naive, QueryCost::unlimited(), &LabelPair::public(),
+        "SELECT COUNT(*) FROM diary").unwrap();
+    assert_eq!(out.rows[0].values, vec![Value::Int(1)]);
+
+    // The owner sees her row either way.
+    let out = db.execute(&alice, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "SELECT COUNT(*) FROM diary").unwrap();
+    assert_eq!(out.rows[0].values, vec![Value::Int(1)]);
+}
+
+#[test]
+fn update_delete_respect_write_protection() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE t (n INTEGER)").unwrap();
+    run(&w, &w.bob, &w.bob_rows, "INSERT INTO t VALUES (1), (2)").unwrap();
+
+    // The app can read Bob's rows but neither vandalize nor delete them.
+    assert_eq!(
+        run(&w, &w.app, &LabelPair::public(), "UPDATE t SET n = 0"),
+        Err(QueryError::WriteDenied)
+    );
+    assert_eq!(
+        run(&w, &w.app, &LabelPair::public(), "DELETE FROM t"),
+        Err(QueryError::WriteDenied)
+    );
+    // And the failed statements changed nothing (atomicity).
+    let out = run(&w, &w.bob, &LabelPair::public(), "SELECT SUM(n) FROM t").unwrap();
+    assert_eq!(out.rows[0].values, vec![Value::Int(3)]);
+
+    // Bob can do both.
+    assert_eq!(run(&w, &w.bob, &LabelPair::public(), "UPDATE t SET n = n * 10 WHERE n = 1").unwrap().affected, 1);
+    assert_eq!(run(&w, &w.bob, &LabelPair::public(), "DELETE FROM t WHERE n = 2").unwrap().affected, 1);
+    let out = run(&w, &w.bob, &LabelPair::public(), "SELECT * FROM t").unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0].values, vec![Value::Int(10)]);
+}
+
+#[test]
+fn update_skips_invisible_rows_silently() {
+    let reg = Arc::new(TagRegistry::new());
+    let (r, owner_caps) = reg.create_tag(TagKind::ReadProtect, "read:alice");
+    let alice = Subject::new(LabelPair::public(), reg.effective(&owner_caps));
+    let stranger = Subject::new(LabelPair::public(), reg.effective(&CapSet::empty()));
+    let db = Database::new();
+    let secret = LabelPair::new(Label::singleton(r), Label::empty());
+    db.execute(&alice, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "CREATE TABLE t (n INTEGER)").unwrap();
+    db.execute(&alice, QueryMode::Filtered, QueryCost::unlimited(), &secret,
+        "INSERT INTO t VALUES (1)").unwrap();
+    db.execute(&stranger, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "INSERT INTO t VALUES (2)").unwrap();
+    // The stranger's blanket UPDATE touches only its own visible row — no
+    // error, no effect on the hidden row, affected = 1.
+    let out = db.execute(&stranger, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "UPDATE t SET n = 99").unwrap();
+    assert_eq!(out.affected, 1);
+    let out = db.execute(&alice, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "SELECT n FROM t ORDER BY n").unwrap();
+    assert_eq!(out.rows.len(), 2);
+    assert_eq!(out.rows[0].values, vec![Value::Int(1)], "hidden row untouched");
+}
+
+#[test]
+fn insert_requires_writable_labels() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE t (n INTEGER)").unwrap();
+    // The app cannot claim Bob's integrity tag on rows it writes.
+    assert_eq!(
+        run(&w, &w.app, &w.bob_rows, "INSERT INTO t VALUES (1)"),
+        Err(QueryError::WriteDenied)
+    );
+    // It can write unprotected rows.
+    assert!(run(&w, &w.app, &LabelPair::public(), "INSERT INTO t VALUES (1)").is_ok());
+}
+
+#[test]
+fn scan_budget_aborts_pathological_queries() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE big (n INTEGER)").unwrap();
+    let values: Vec<String> = (0..500).map(|i| format!("({i})")).collect();
+    run(
+        &w,
+        &w.bob,
+        &w.bob_rows,
+        &format!("INSERT INTO big VALUES {}", values.join(", ")),
+    )
+    .unwrap();
+    let tight = QueryCost { max_rows_scanned: 100 };
+    let err = w
+        .db
+        .execute(&w.bob, QueryMode::Filtered, tight, &LabelPair::public(), "SELECT COUNT(*) FROM big")
+        .unwrap_err();
+    assert_eq!(err, QueryError::BudgetExhausted);
+    // A LIMITed scan still pays full scan cost (no index), so it aborts too.
+    let err = w
+        .db
+        .execute(&w.bob, QueryMode::Filtered, tight, &LabelPair::public(), "DELETE FROM big")
+        .unwrap_err();
+    assert_eq!(err, QueryError::BudgetExhausted);
+    // With an adequate budget it succeeds and reports cost.
+    let out = run(&w, &w.bob, &LabelPair::public(), "SELECT COUNT(*) FROM big").unwrap();
+    assert_eq!(out.scanned, 500);
+}
+
+#[test]
+fn type_checking() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE t (n INTEGER, s TEXT)").unwrap();
+    assert!(matches!(
+        run(&w, &w.bob, &w.bob_rows, "INSERT INTO t (n) VALUES ('oops')"),
+        Err(QueryError::TypeMismatch { .. })
+    ));
+    run(&w, &w.bob, &w.bob_rows, "INSERT INTO t (n, s) VALUES (1, 'ok')").unwrap();
+    assert!(matches!(
+        run(&w, &w.bob, &LabelPair::public(), "UPDATE t SET n = 'bad'"),
+        Err(QueryError::TypeMismatch { .. })
+    ));
+}
+
+#[test]
+fn errors_for_missing_things() {
+    let w = world();
+    assert!(matches!(
+        run(&w, &w.bob, &LabelPair::public(), "SELECT * FROM nope"),
+        Err(QueryError::NoSuchTable(_))
+    ));
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE t (n INTEGER)").unwrap();
+    assert!(matches!(
+        run(&w, &w.bob, &LabelPair::public(), "SELECT zz FROM t"),
+        Err(QueryError::NoSuchColumn(_))
+    ));
+    assert!(matches!(
+        run(&w, &w.bob, &LabelPair::public(), "SELECT * FROM t WHERE zz = 1"),
+        Err(QueryError::NoSuchColumn(_))
+    ));
+    assert!(matches!(
+        run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE t (n INTEGER)"),
+        Err(QueryError::TableExists(_))
+    ));
+}
+
+#[test]
+fn drop_table_requires_write_on_all_rows() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE t (n INTEGER)").unwrap();
+    run(&w, &w.bob, &w.bob_rows, "INSERT INTO t VALUES (1)").unwrap();
+    assert_eq!(
+        run(&w, &w.app, &LabelPair::public(), "DROP TABLE t"),
+        Err(QueryError::WriteDenied)
+    );
+    assert!(run(&w, &w.bob, &LabelPair::public(), "DROP TABLE t").is_ok());
+    assert!(w.db.table_names().is_empty());
+}
+
+#[test]
+fn division_by_zero_and_overflow_are_errors_not_panics() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE t (n INTEGER)").unwrap();
+    run(&w, &w.bob, &LabelPair::public(), "INSERT INTO t VALUES (1)").unwrap();
+    assert!(matches!(
+        run(&w, &w.bob, &LabelPair::public(), "SELECT * FROM t WHERE n / 0 = 1"),
+        Err(QueryError::Eval(_))
+    ));
+    assert!(matches!(
+        run(&w, &w.bob, &LabelPair::public(), "SELECT * FROM t WHERE n = 9223372036854775807 + 1"),
+        Err(QueryError::Eval(_))
+    ));
+}
+
+#[test]
+fn null_semantics_in_where() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE t (n INTEGER)").unwrap();
+    run(&w, &w.bob, &LabelPair::public(), "INSERT INTO t VALUES (1), (NULL)").unwrap();
+    // NULL = NULL is not true.
+    let out = run(&w, &w.bob, &LabelPair::public(), "SELECT * FROM t WHERE n = NULL").unwrap();
+    assert!(out.rows.is_empty());
+    let out = run(&w, &w.bob, &LabelPair::public(), "SELECT * FROM t WHERE n IS NULL").unwrap();
+    assert_eq!(out.rows.len(), 1);
+    let out = run(&w, &w.bob, &LabelPair::public(), "SELECT * FROM t WHERE n IS NOT NULL").unwrap();
+    assert_eq!(out.rows.len(), 1);
+}
+
+#[test]
+fn inner_join_basics() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE users (id INTEGER, name TEXT)").unwrap();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE posts (author INTEGER, title TEXT)").unwrap();
+    run(&w, &w.bob, &LabelPair::public(),
+        "INSERT INTO users VALUES (1, 'bob'), (2, 'alice')").unwrap();
+    run(&w, &w.bob, &LabelPair::public(),
+        "INSERT INTO posts VALUES (1, 'hello'), (1, 'again'), (2, 'hi'), (3, 'orphan')").unwrap();
+
+    let out = run(
+        &w,
+        &w.bob,
+        &LabelPair::public(),
+        "SELECT users.name, posts.title FROM users JOIN posts ON users.id = posts.author \
+         ORDER BY posts.title",
+    )
+    .unwrap();
+    assert_eq!(out.columns, vec!["users.name", "posts.title"]);
+    let rows: Vec<(String, String)> = out
+        .rows
+        .iter()
+        .map(|r| (r.values[0].render(), r.values[1].render()))
+        .collect();
+    assert_eq!(
+        rows,
+        vec![
+            ("bob".to_string(), "again".to_string()),
+            ("bob".to_string(), "hello".to_string()),
+            ("alice".to_string(), "hi".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn join_with_where_and_aggregates() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE a (k INTEGER)").unwrap();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE b (k INTEGER, v INTEGER)").unwrap();
+    run(&w, &w.bob, &LabelPair::public(), "INSERT INTO a VALUES (1), (2), (3)").unwrap();
+    run(&w, &w.bob, &LabelPair::public(), "INSERT INTO b VALUES (1, 10), (2, 20), (2, 30)").unwrap();
+    let out = run(
+        &w,
+        &w.bob,
+        &LabelPair::public(),
+        "SELECT COUNT(*), SUM(b.v) FROM a INNER JOIN b ON a.k = b.k WHERE b.v > 10",
+    )
+    .unwrap();
+    assert_eq!(out.rows[0].values, vec![Value::Int(2), Value::Int(50)]);
+}
+
+#[test]
+fn join_labels_combine_and_filter() {
+    // The labeled heart of the join: combined rows carry both owners'
+    // tags, and rows invisible to the subject never join.
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE left_t (k INTEGER)").unwrap();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE right_t (k INTEGER, s TEXT)").unwrap();
+    run(&w, &w.bob, &w.bob_rows, "INSERT INTO left_t VALUES (1)").unwrap();
+    run(&w, &w.alice, &w.alice_rows, "INSERT INTO right_t VALUES (1, 'alice data')").unwrap();
+
+    let out = run(
+        &w,
+        &w.app,
+        &LabelPair::public(),
+        "SELECT right_t.s FROM left_t JOIN right_t ON left_t.k = right_t.k",
+    )
+    .unwrap();
+    assert_eq!(out.rows.len(), 1);
+    // The result carries BOTH export tags.
+    assert_eq!(out.labels.secrecy.len(), 2);
+
+    // Under read-protection, invisible rows cannot join at all.
+    let reg = std::sync::Arc::new(w5_difc::TagRegistry::new());
+    let (r, owner_caps) = reg.create_tag(w5_difc::TagKind::ReadProtect, "read:x");
+    let owner = Subject::new(LabelPair::public(), reg.effective(&owner_caps));
+    let stranger = Subject::new(LabelPair::public(), reg.effective(&w5_difc::CapSet::empty()));
+    let db = w5_store::Database::new();
+    let secret = LabelPair::new(w5_difc::Label::singleton(r), w5_difc::Label::empty());
+    db.execute(&owner, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "CREATE TABLE l (k INTEGER)").unwrap();
+    db.execute(&owner, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "CREATE TABLE r2 (k INTEGER)").unwrap();
+    db.execute(&owner, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "INSERT INTO l VALUES (1)").unwrap();
+    db.execute(&owner, QueryMode::Filtered, QueryCost::unlimited(), &secret,
+        "INSERT INTO r2 VALUES (1)").unwrap();
+    let out = db.execute(&stranger, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "SELECT COUNT(*) FROM l JOIN r2 ON l.k = r2.k").unwrap();
+    assert_eq!(out.rows[0].values, vec![Value::Int(0)], "hidden rows never join");
+    let out = db.execute(&owner, QueryMode::Filtered, QueryCost::unlimited(), &LabelPair::public(),
+        "SELECT COUNT(*) FROM l JOIN r2 ON l.k = r2.k").unwrap();
+    assert_eq!(out.rows[0].values, vec![Value::Int(1)]);
+}
+
+#[test]
+fn join_budget_bounds_pair_count() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE j1 (k INTEGER)").unwrap();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE j2 (k INTEGER)").unwrap();
+    let vals: Vec<String> = (0..100).map(|i| format!("({i})")).collect();
+    run(&w, &w.bob, &LabelPair::public(), &format!("INSERT INTO j1 VALUES {}", vals.join(","))).unwrap();
+    run(&w, &w.bob, &LabelPair::public(), &format!("INSERT INTO j2 VALUES {}", vals.join(","))).unwrap();
+    // 100x100 pairs exceed a 5000-row budget: the nested loop never runs.
+    let tight = QueryCost { max_rows_scanned: 5_000 };
+    let err = w.db
+        .execute(&w.bob, QueryMode::Filtered, tight, &LabelPair::public(),
+            "SELECT COUNT(*) FROM j1 JOIN j2 ON j1.k = j2.k")
+        .unwrap_err();
+    assert_eq!(err, QueryError::BudgetExhausted);
+}
+
+#[test]
+fn join_errors() {
+    let w = world();
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE t1 (k INTEGER)").unwrap();
+    // Unknown join table.
+    assert!(matches!(
+        run(&w, &w.bob, &LabelPair::public(), "SELECT * FROM t1 JOIN ghost ON t1.k = ghost.k"),
+        Err(QueryError::NoSuchTable(_))
+    ));
+    run(&w, &w.bob, &LabelPair::public(), "CREATE TABLE t2 (k INTEGER)").unwrap();
+    // Unqualified / wrong-table ON columns.
+    assert!(matches!(
+        run(&w, &w.bob, &LabelPair::public(), "SELECT * FROM t1 JOIN t2 ON k = t2.k"),
+        Err(QueryError::NoSuchColumn(_))
+    ));
+    assert!(matches!(
+        run(&w, &w.bob, &LabelPair::public(), "SELECT * FROM t1 JOIN t2 ON t2.k = t2.k"),
+        Err(QueryError::NoSuchColumn(_))
+    ));
+    // Self-joins are out of scope.
+    assert!(matches!(
+        run(&w, &w.bob, &LabelPair::public(), "SELECT * FROM t1 JOIN t1 ON t1.k = t1.k"),
+        Err(QueryError::Eval(_))
+    ));
+}

@@ -1,0 +1,1 @@
+//! Carrier crate for repository-root `tests/`. See that directory.

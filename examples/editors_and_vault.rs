@@ -1,0 +1,119 @@
+//! The §3.1/§3.2 policy extensions in action: editor endorsements with
+//! integrity-protected launching, and read-protected ("vault") data that
+//! untrusted apps cannot even see.
+//!
+//! ```sh
+//! cargo run -p w5-examples --example editors_and_vault
+//! ```
+
+use bytes::Bytes;
+use std::sync::Arc;
+use w5_platform::{
+    ApiError, AppManifest, AppRequest, AppResponse, CreateLabels, Platform, PlatformApi, W5App,
+};
+
+struct VaultApp;
+
+impl W5App for VaultApp {
+    fn handle(&self, req: &AppRequest, api: &mut PlatformApi<'_>) -> Result<AppResponse, ApiError> {
+        let me = api.viewer().ok_or(ApiError::Denied)?.to_string();
+        match req.action.as_str() {
+            "put" => {
+                api.create_file(
+                    &format!("/vault/{me}"),
+                    Bytes::from(req.param("text").unwrap_or("").to_string()),
+                    CreateLabels::ViewerPrivate,
+                )?;
+                Ok(AppResponse::text("stored in vault"))
+            }
+            "get" => {
+                let data = api.read_file(&format!("/vault/{me}"))?;
+                Ok(AppResponse::text(String::from_utf8_lossy(&data).into_owned()))
+            }
+            _ => Err(ApiError::NotFound),
+        }
+    }
+    fn source_lines(&self) -> usize {
+        25
+    }
+}
+
+fn publish(p: &Arc<Platform>, dev: &str, name: &str, imports: Vec<String>) {
+    p.apps
+        .publish(AppManifest {
+            name: name.into(),
+            developer: dev.into(),
+            version: 1,
+            description: format!("{name} demo"),
+            module_slots: vec![],
+            imports,
+            forked_from: None,
+            source: None,
+        })
+        .unwrap();
+}
+
+fn run(p: &Arc<Platform>, viewer: &w5_platform::Account, app: &str, action: &str, params: &[(&str, &str)]) -> (u16, String) {
+    let req = Platform::make_request("GET", action, params, Some(viewer), Bytes::new());
+    let r = p.invoke(Some(viewer), app, req);
+    (r.status, String::from_utf8_lossy(&r.body).into_owned())
+}
+
+fn main() {
+    let p = Platform::new_default("extensions-demo");
+    publish(&p, "devC", "syslib", vec![]);
+    publish(&p, "devV", "vault", vec!["devC/syslib".into()]);
+    p.install_app("devV/vault", Arc::new(VaultApp));
+
+    let bob = p.accounts.register("bob", "pw").unwrap();
+    p.policies.delegate_write(bob.id, "devV/vault");
+
+    // ---- Integrity-protected launching (§3.1/§3.2).
+    println!("== editor endorsements ==");
+    p.policies.set_require_endorsement(bob.id, true);
+    p.policies.trust_editor(bob.id, "trade-journal");
+    let (s, body) = run(&p, &bob, "devV/vault", "get", &[]);
+    println!("launch before any endorsement: {s} ({})", body.trim());
+
+    p.editors.endorse("trade-journal", "devV/vault", 1, "audited the vault app");
+    let (s, body) = run(&p, &bob, "devV/vault", "get", &[]);
+    println!("app endorsed, import not:      {s} ({})", body.trim());
+
+    p.editors.endorse("trade-journal", "devC/syslib", 1, "audited the library");
+    let (s, _) = run(&p, &bob, "devV/vault", "get", &[]);
+    println!("whole closure endorsed:        {s} (vault is empty, so 404 — the gate is open)");
+
+    // ---- Read protection (§3.1).
+    println!("\n== read-protected vault ==");
+    p.accounts.enable_read_protection(bob.id).unwrap();
+    let bob = p.accounts.get(bob.id).unwrap(); // pick up the new r_bob tag
+    println!("bob's read tag: {:?}", bob.read_tag.unwrap());
+
+    let (s, _) = run(&p, &bob, "devV/vault", "put", &[("text", "the launch codes")]);
+    println!("store secret:                  {s}");
+    let (s, _) = run(&p, &bob, "devV/vault", "get", &[]);
+    println!("read WITHOUT read delegation:  {s} (the file is invisible to the instance)");
+
+    p.policies.delegate_read(bob.id, "devV/vault");
+    let (s, body) = run(&p, &bob, "devV/vault", "get", &[]);
+    println!("read WITH read delegation:     {s} ({})", body.trim());
+
+    // Mallory's instance never sees the file, whatever she delegates to
+    // her own apps.
+    let mallory = p.accounts.register("mallory", "pw").unwrap();
+    p.policies.set_require_endorsement(mallory.id, false);
+    struct Snoop;
+    impl W5App for Snoop {
+        fn handle(&self, _r: &AppRequest, api: &mut PlatformApi<'_>) -> Result<AppResponse, ApiError> {
+            let d = api.read_file("/vault/bob")?;
+            Ok(AppResponse::text(String::from_utf8_lossy(&d).into_owned()))
+        }
+        fn source_lines(&self) -> usize {
+            5
+        }
+    }
+    publish(&p, "mal", "snoop", vec![]);
+    p.install_app("mal/snoop", Arc::new(Snoop));
+    let (s, _) = run(&p, &mallory, "mal/snoop", "x", &[]);
+    println!("mallory's snoop app:           {s} (not 403 — 404: existence itself is protected)");
+}

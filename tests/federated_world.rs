@@ -1,0 +1,88 @@
+//! Federation over a *populated* world: user content created through the
+//! real applications mirrors across providers, and the mirrored data
+//! behaves like native data on the destination (perimeter and all).
+
+use bytes::Bytes;
+use std::sync::Arc;
+use w5_federation::service::opt_in;
+use w5_federation::{AccountLink, FederationService, SyncAgent};
+use w5_net::{Server, ServerConfig};
+use w5_platform::{GrantScope, Platform};
+use w5_sim::{build_population, PopulationConfig};
+
+const TOKEN: &str = "integration-peer-token";
+
+#[test]
+fn app_created_content_mirrors_and_stays_protected() {
+    // Provider A: a small populated world (photos made by the photo app).
+    let world = build_population(
+        Platform::new_default("provider-a"),
+        PopulationConfig { users: 4, photos_per_user: 3, ..Default::default() },
+    );
+    let a = Arc::clone(&world.platform);
+
+    // Provider B: fresh, with apps installed and matching usernames.
+    let b = Platform::new_default("provider-b");
+    w5_apps::install_all(&b);
+    for account in &world.accounts {
+        b.accounts.register(&account.username, "pw").unwrap();
+    }
+
+    // user0 opts into federation on A; the others do not.
+    let u0 = &world.accounts[0];
+    opt_in(&a, u0.id);
+
+    let svc = FederationService::new(Arc::clone(&a), TOKEN);
+    let server = Server::start("127.0.0.1:0", ServerConfig::default(), Arc::new(svc)).unwrap();
+    let agent = SyncAgent::new(Arc::clone(&b), TOKEN);
+
+    let link = AccountLink { remote_user: u0.username.clone(), local_user: u0.username.clone() };
+    let report = agent.pull(server.addr(), &link).unwrap();
+    assert_eq!(report.created, 3, "all three app-made photos mirrored: {report:?}");
+
+    // On B, the mirrored photos serve through B's own photo app for the
+    // owner…
+    let u0_b = b.accounts.get_by_name(&u0.username).unwrap();
+    let req = Platform::make_request(
+        "GET",
+        "view",
+        &[("user", u0.username.as_str()), ("name", "photo0")],
+        Some(&u0_b),
+        Bytes::new(),
+    );
+    assert_eq!(b.invoke(Some(&u0_b), "devA/photos", req).status, 200);
+
+    // …and are still perimeter-protected against strangers on B.
+    let stranger = b.accounts.register("stranger", "pw").unwrap();
+    let req = Platform::make_request(
+        "GET",
+        "view",
+        &[("user", u0.username.as_str()), ("name", "photo0")],
+        Some(&stranger),
+        Bytes::new(),
+    );
+    assert_eq!(b.invoke(Some(&stranger), "devA/photos", req).status, 403);
+
+    // B-side policy governs B-side exports: a public-read grant on B opens
+    // the mirrored copy without touching A.
+    b.policies.grant_declassifier(
+        u0_b.id,
+        "public-read",
+        GrantScope::App("devA/photos".into()),
+    );
+    let req = Platform::make_request(
+        "GET",
+        "view",
+        &[("user", u0.username.as_str()), ("name", "photo0")],
+        Some(&stranger),
+        Bytes::new(),
+    );
+    assert_eq!(b.invoke(Some(&stranger), "devA/photos", req).status, 200);
+
+    // Users who did not opt in never crossed the wire.
+    let u1 = &world.accounts[1];
+    let link1 = AccountLink { remote_user: u1.username.clone(), local_user: u1.username.clone() };
+    assert!(agent.pull(server.addr(), &link1).is_err());
+
+    server.shutdown();
+}

@@ -1,0 +1,210 @@
+//! Randomized noninterference check — the strongest claim the platform
+//! makes, fuzzed end to end.
+//!
+//! Every user's data contains a unique sentinel string. A randomized
+//! driver performs thousands of actions (uploads, posts, reads, digests,
+//! malicious exfiltration attempts, policy changes) as random users, and
+//! after *every* delivered response asserts the core invariant:
+//!
+//! > a response handed to viewer V may contain user U's sentinel only if
+//! > V == U, or U's policy at this moment grants a declassifier that
+//! > clears V for the producing application.
+//!
+//! The perimeter decides with labels, not by string matching, so this test
+//! checks the mechanism against an independent oracle.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use w5_platform::{Account, GrantScope, Platform};
+
+const USERS: usize = 6;
+
+struct Oracle {
+    /// (owner, app) → friends-only granted.
+    friends_only: Vec<Vec<bool>>, // [owner][app]
+    /// (owner, app) → public-read granted.
+    public_read: Vec<Vec<bool>>,
+    /// friendship matrix [owner][viewer].
+    friends: Vec<Vec<bool>>,
+}
+
+const APPS: [&str; 4] = ["devA/photos", "devB/blog", "mal/exfiltrator", "devD/recommender"];
+
+impl Oracle {
+    fn new() -> Oracle {
+        Oracle {
+            friends_only: vec![vec![false; APPS.len()]; USERS],
+            public_read: vec![vec![false; APPS.len()]; USERS],
+            friends: vec![vec![false; USERS]; USERS],
+        }
+    }
+
+    /// May `viewer` see `owner`'s data through `app_ix`, per policy?
+    fn allowed(&self, owner: usize, viewer: usize, app_ix: usize) -> bool {
+        if owner == viewer {
+            return true;
+        }
+        if self.public_read[owner][app_ix] {
+            return true;
+        }
+        self.friends_only[owner][app_ix] && self.friends[owner][viewer]
+    }
+}
+
+fn sentinel(u: usize) -> String {
+    format!("SENTINEL-{u}-SECRET-PAYLOAD")
+}
+
+#[test]
+fn randomized_noninterference() {
+    let p = Platform::new_default("fuzz");
+    w5_apps::install_all(&p);
+    let accounts: Vec<Account> = (0..USERS)
+        .map(|i| p.accounts.register(&format!("user{i}"), "pw").unwrap())
+        .collect();
+    for a in &accounts {
+        for app in APPS {
+            p.policies.delegate_write(a.id, app);
+        }
+    }
+    // Every user stores their sentinel as a blog post and as a file.
+    for (i, a) in accounts.iter().enumerate() {
+        let req = Platform::make_request(
+            "POST",
+            "post",
+            &[("title", "diary"), ("body", &sentinel(i))],
+            Some(a),
+            Bytes::new(),
+        );
+        assert_eq!(p.invoke(Some(a), "devB/blog", req).status, 200);
+        // A sentinel-bearing file too, for the exfiltrator to aim at.
+        let subject = w5_store::Subject::new(
+            w5_difc::LabelPair::public(),
+            p.registry.effective(&a.owner_caps),
+        );
+        p.fs.create(
+            &subject,
+            &format!("/photos/{}/x", a.username),
+            a.data_labels(),
+            Bytes::from(sentinel(i)),
+        )
+        .unwrap();
+    }
+
+    let mut oracle = Oracle::new();
+    let mut rng = StdRng::seed_from_u64(20070824);
+    let mut delivered = 0u32;
+    let mut blocked = 0u32;
+
+    for step in 0..3000 {
+        match rng.gen_range(0..10) {
+            // Policy mutations.
+            0 => {
+                let owner = rng.gen_range(0..USERS);
+                let app_ix = rng.gen_range(0..APPS.len());
+                p.policies.grant_declassifier(
+                    accounts[owner].id,
+                    "friends-only",
+                    GrantScope::App(APPS[app_ix].into()),
+                );
+                oracle.friends_only[owner][app_ix] = true;
+            }
+            1 => {
+                let owner = rng.gen_range(0..USERS);
+                let app_ix = rng.gen_range(0..APPS.len());
+                p.policies.grant_declassifier(
+                    accounts[owner].id,
+                    "public-read",
+                    GrantScope::App(APPS[app_ix].into()),
+                );
+                oracle.public_read[owner][app_ix] = true;
+            }
+            2 => {
+                // Revocation: drop all grants for one user (perimeter must
+                // respect it immediately).
+                let owner = rng.gen_range(0..USERS);
+                p.policies.revoke_declassifier(accounts[owner].id, "friends-only");
+                p.policies.revoke_declassifier(accounts[owner].id, "public-read");
+                for x in 0..APPS.len() {
+                    oracle.friends_only[owner][x] = false;
+                    oracle.public_read[owner][x] = false;
+                }
+            }
+            3 => {
+                let owner = rng.gen_range(0..USERS);
+                let viewer = rng.gen_range(0..USERS);
+                if owner != viewer && !oracle.friends[owner][viewer] {
+                    p.add_friend(&accounts[owner].username, &accounts[viewer].username);
+                    oracle.friends[owner][viewer] = true;
+                }
+            }
+            // Reads through honest and malicious apps.
+            _ => {
+                let owner = rng.gen_range(0..USERS);
+                let viewer = rng.gen_range(0..USERS);
+                let (app_ix, action, params): (usize, &str, Vec<(String, String)>) =
+                    match rng.gen_range(0..3) {
+                        0 => (
+                            1,
+                            "read",
+                            vec![
+                                ("user".into(), accounts[owner].username.clone()),
+                                ("title".into(), "diary".into()),
+                            ],
+                        ),
+                        1 => (
+                            2,
+                            "steal",
+                            vec![("path".into(), format!("/photos/{}/x", accounts[owner].username))],
+                        ),
+                        _ => (
+                            1,
+                            "list",
+                            vec![("user".into(), accounts[owner].username.clone())],
+                        ),
+                    };
+                let param_refs: Vec<(&str, &str)> =
+                    params.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                let req = Platform::make_request(
+                    "GET",
+                    action,
+                    &param_refs,
+                    Some(&accounts[viewer]),
+                    Bytes::new(),
+                );
+                let r = p.invoke(Some(&accounts[viewer]), APPS[app_ix], req);
+                if r.status == 200 {
+                    delivered += 1;
+                    let body = String::from_utf8_lossy(&r.body);
+                    for u in 0..USERS {
+                        if body.contains(&sentinel(u)) {
+                            assert!(
+                                oracle.allowed(u, viewer, app_ix),
+                                "step {step}: viewer {viewer} received user {u}'s sentinel via \
+                                 {} without authorization",
+                                APPS[app_ix]
+                            );
+                        }
+                    }
+                } else if r.status == 403 {
+                    blocked += 1;
+                    assert!(
+                        !String::from_utf8_lossy(&r.body).contains("SENTINEL"),
+                        "step {step}: denial body leaked a sentinel"
+                    );
+                }
+            }
+        }
+    }
+    // Sanity: the fuzz actually exercised both outcomes.
+    assert!(delivered > 100, "delivered={delivered}");
+    assert!(blocked > 100, "blocked={blocked}");
+
+    // And fault reports never leaked a sentinel either.
+    for report in p.fault_reports() {
+        if let Some(d) = &report.detail {
+            assert!(!d.contains("SENTINEL"), "fault report leaked: {d}");
+        }
+    }
+}
