@@ -39,7 +39,8 @@ fn main() {
         let b = label(n, 3); // interleaved, mostly disjoint
         let sup = a.union(&b);
 
-        let ops: [(&str, Box<dyn FnMut()>); 4] = [
+        type Op<'a> = (&'a str, Box<dyn FnMut()>);
+        let ops: [Op; 4] = [
             ("subset (hit)", {
                 let a = a.clone();
                 let sup = sup.clone();

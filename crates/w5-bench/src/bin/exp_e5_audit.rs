@@ -6,6 +6,7 @@
 //! vs source lines of each application it guards, plus the per-user trust
 //! footprint (what a casual user must trust beyond the provider).
 
+use w5_bench::metrics::{write_metrics, AuditSurfaceMetrics, NamedLines};
 use w5_platform::Platform;
 use w5_sim::Table;
 
@@ -19,9 +20,11 @@ fn main() {
     let mut apps_table = Table::new(["application", "source lines"]);
     let app_keys = ["devA/photos", "devB/blog", "devC/social", "devD/recommender", "devD/dating"];
     let mut app_lines = Vec::new();
+    let mut apps = Vec::new();
     for key in app_keys {
         let lines = platform.app_impl(key).map(|a| a.source_lines()).unwrap_or(0);
         app_lines.push(lines);
+        apps.push(NamedLines { name: key.to_string(), lines: lines as u64 });
         apps_table.row([key.to_string(), lines.to_string()]);
     }
     println!("{apps_table}");
@@ -29,14 +32,31 @@ fn main() {
     // Declassifiers.
     let mut d_table = Table::new(["declassifier", "decision lines", "guards any app?"]);
     let mut decl_lines = Vec::new();
+    let mut declassifiers = Vec::new();
     for (name, _desc, lines) in platform.declassifiers.list() {
         decl_lines.push(lines);
+        declassifiers.push(NamedLines { name: name.to_string(), lines: lines as u64 });
         d_table.row([name.to_string(), lines.to_string(), "yes (data-agnostic)".to_string()]);
     }
     println!("{d_table}");
 
     let avg_app = app_lines.iter().sum::<usize>() as f64 / app_lines.len() as f64;
     let avg_decl = decl_lines.iter().sum::<usize>() as f64 / decl_lines.len() as f64;
+
+    let metrics = AuditSurfaceMetrics {
+        apps,
+        declassifiers,
+        avg_app_lines: avg_app,
+        avg_declassifier_lines: avg_decl,
+        ratio: avg_app / avg_decl,
+    };
+    match write_metrics("e5_audit", &metrics) {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write metrics artifact: {e}");
+            std::process::exit(1);
+        }
+    }
     println!("average application size: {avg_app:.0} lines");
     println!("average declassifier decision logic: {avg_decl:.0} lines");
     println!("audit-surface ratio (app/declassifier): {:.0}x", avg_app / avg_decl);

@@ -1,7 +1,9 @@
 //! Run every experiment binary in order, producing the complete
-//! evaluation transcript `EXPERIMENTS.md` records.
+//! evaluation transcript `EXPERIMENTS.md` records, plus a JSON summary
+//! artifact (`run_all.json`) for CI.
 
 use std::process::Command;
+use w5_bench::metrics::{write_metrics, ExperimentStatus, RunAllMetrics};
 
 fn main() {
     let exps = [
@@ -21,17 +23,28 @@ fn main() {
     ];
     let self_path = std::env::current_exe().expect("own path");
     let dir = self_path.parent().expect("bin dir");
-    let mut failures = Vec::new();
+    let mut results = Vec::new();
     for exp in exps {
         println!("\n##################################################################");
         let status = Command::new(dir.join(exp))
             .status()
             .unwrap_or_else(|e| panic!("spawn {exp}: {e}"));
-        if !status.success() {
-            failures.push(exp);
-        }
+        results.push(ExperimentStatus { name: exp.to_string(), ok: status.success() });
     }
+    let failures: Vec<&str> = results
+        .iter()
+        .filter(|r| !r.ok)
+        .map(|r| r.name.as_str())
+        .collect();
+    let metrics = RunAllMetrics {
+        failures: failures.len() as u64,
+        experiments: results.clone(),
+    };
     println!("\n##################################################################");
+    match write_metrics("run_all", &metrics) {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics artifact: {e}"),
+    }
     if failures.is_empty() {
         println!("all {} experiments completed", exps.len());
     } else {

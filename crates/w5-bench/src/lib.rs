@@ -11,6 +11,8 @@
 use std::time::{Duration, Instant};
 use w5_sim::Histogram;
 
+pub mod metrics;
+
 /// Time a closure `n` times into a histogram, after `warmup` unmeasured
 /// runs.
 pub fn measure<F: FnMut()>(warmup: usize, n: usize, mut f: F) -> Histogram {

@@ -1,0 +1,123 @@
+//! Machine-readable experiment artifacts.
+//!
+//! Each `exp_*` binary prints a human transcript *and* can drop a JSON
+//! metrics file so CI (or a later analysis pass) never scrapes stdout.
+//! Files land in `target/metrics/` by default; set `W5_METRICS_DIR` to
+//! redirect (tests use a temp dir).
+
+use std::path::PathBuf;
+
+/// One named source-line measurement (an app or a declassifier).
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NamedLines {
+    /// Component name (e.g. `"devA/photos"` or `"friends-only"`).
+    pub name: String,
+    /// Source lines attributed to it.
+    pub lines: u64,
+}
+
+/// E5's audit-surface measurement: declassifier decision logic vs the
+/// applications it guards.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AuditSurfaceMetrics {
+    /// Applications and their source sizes.
+    pub apps: Vec<NamedLines>,
+    /// Declassifiers and their decision-logic sizes.
+    pub declassifiers: Vec<NamedLines>,
+    /// Mean application size in lines.
+    pub avg_app_lines: f64,
+    /// Mean declassifier size in lines.
+    pub avg_declassifier_lines: f64,
+    /// `avg_app_lines / avg_declassifier_lines`.
+    pub ratio: f64,
+}
+
+/// The outcome of one experiment binary in a `run_all` sweep.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ExperimentStatus {
+    /// Binary name, e.g. `"exp_e5_audit"`.
+    pub name: String,
+    /// Did it exit 0?
+    pub ok: bool,
+}
+
+/// The `run_all` summary artifact.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RunAllMetrics {
+    /// Per-experiment outcomes, in run order.
+    pub experiments: Vec<ExperimentStatus>,
+    /// Count of failures (0 on a clean sweep).
+    pub failures: u64,
+}
+
+/// Where metrics artifacts go: `$W5_METRICS_DIR`, else `target/metrics`.
+pub fn metrics_dir() -> PathBuf {
+    match std::env::var_os("W5_METRICS_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => PathBuf::from("target/metrics"),
+    }
+}
+
+/// Serialize `value` as pretty JSON to `<metrics_dir>/<name>.json`,
+/// returning the path written. Errors are surfaced, not swallowed — a
+/// sweep that cannot record its results should fail loudly.
+pub fn write_metrics<T: serde::Serialize>(
+    name: &str,
+    value: &T,
+) -> std::io::Result<PathBuf> {
+    let dir = metrics_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_surface_roundtrips_through_json() {
+        let m = AuditSurfaceMetrics {
+            apps: vec![NamedLines { name: "devA/photos".into(), lines: 120 }],
+            declassifiers: vec![NamedLines { name: "friends-only".into(), lines: 7 }],
+            avg_app_lines: 120.0,
+            avg_declassifier_lines: 7.0,
+            ratio: 120.0 / 7.0,
+        };
+        let json = serde_json::to_string_pretty(&m).unwrap();
+        let back: AuditSurfaceMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn run_all_roundtrips_through_json() {
+        let m = RunAllMetrics {
+            experiments: vec![
+                ExperimentStatus { name: "exp_e1_walls".into(), ok: true },
+                ExperimentStatus { name: "exp_e5_audit".into(), ok: false },
+            ],
+            failures: 1,
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunAllMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn write_metrics_lands_in_the_requested_dir() {
+        let dir = std::env::temp_dir().join("w5-metrics-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("W5_METRICS_DIR", &dir);
+        let m = ExperimentStatus { name: "probe".into(), ok: true };
+        let path = write_metrics("probe", &m).unwrap();
+        std::env::remove_var("W5_METRICS_DIR");
+        assert!(path.starts_with(&dir));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: ExperimentStatus = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

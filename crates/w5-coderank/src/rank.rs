@@ -72,12 +72,12 @@ pub fn coderank(graph: &DepGraph, params: RankParams) -> RankResult {
             .sum();
         let base = (1.0 - params.damping) * uniform + params.damping * dangling * uniform;
         next.iter_mut().for_each(|v| *v = base);
-        for i in 0..n {
+        for (i, score) in scores.iter().enumerate() {
             let deps = graph.deps(i);
             if deps.is_empty() {
                 continue;
             }
-            let share = params.damping * scores[i] / deps.len() as f64;
+            let share = params.damping * score / deps.len() as f64;
             for &j in deps {
                 next[j] += share;
             }

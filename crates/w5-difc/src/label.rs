@@ -32,6 +32,9 @@ impl Label {
     }
 
     /// Build from an unsorted, possibly duplicated tag collection.
+    /// Deliberately an inherent method, not `FromIterator`, so label
+    /// construction stays greppable at call sites.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = Tag>>(tags: I) -> Label {
         let mut v: Vec<Tag> = tags.into_iter().collect();
         v.sort_unstable();
@@ -180,6 +183,12 @@ impl Label {
             }
             Err(_) => self.clone(),
         }
+    }
+
+    /// The ledger-side image of this label: raw sorted tag ids. Lossless
+    /// for clearance purposes (subset tests commute with the conversion).
+    pub fn to_obs(&self) -> w5_obs::ObsLabel {
+        w5_obs::ObsLabel::from_sorted(self.0.iter().map(|t| t.raw()).collect())
     }
 
     /// True if the labels share no tags.

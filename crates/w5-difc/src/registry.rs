@@ -77,6 +77,21 @@ impl TagRegistry {
                 creator.insert_ownership(tag);
             }
         }
+        drop(global);
+        // Tag allocation is public metadata (names carry no authority), but
+        // which *kind* was chosen shapes the global bag — worth a ledger
+        // entry for audit.
+        w5_obs::record(
+            w5_obs::ObsLabel::empty(),
+            w5_obs::EventKind::TagCreate {
+                tag: tag.raw(),
+                kind: match kind {
+                    TagKind::ExportProtect => "export".to_string(),
+                    TagKind::WriteProtect => "write".to_string(),
+                    TagKind::ReadProtect => "read".to_string(),
+                },
+            },
+        );
         (tag, creator)
     }
 

@@ -27,6 +27,15 @@ use crate::LabelPair;
 /// (which should already include the global bag; see
 /// [`crate::TagRegistry::effective`]).
 pub fn safe_change(from: &Label, to: &Label, caps: &CapSet) -> DifcResult<()> {
+    let result = safe_change_unobserved(from, to, caps);
+    // The flow the check describes carries the union of both labels: a
+    // denial reveals something about where the subject stood *and* where
+    // it tried to go.
+    w5_obs::count_check("change", result.is_ok(), from.union(to).to_obs());
+    result
+}
+
+fn safe_change_unobserved(from: &Label, to: &Label, caps: &CapSet) -> DifcResult<()> {
     let added = to.difference(from);
     let missing_plus: Label = added.iter().filter(|&t| !caps.has_plus(t)).collect();
     if !missing_plus.is_empty() {
@@ -57,7 +66,9 @@ pub fn can_flow_with(s_src: &Label, o_src: &CapSet, s_dst: &Label, o_dst: &CapSe
         .filter(|&t| !o_src.has_minus(t))
         .filter(|&t| !s_dst.contains(t) && !o_dst.has_plus(t))
         .collect();
-    if leaked.is_empty() {
+    let allowed = leaked.is_empty();
+    w5_obs::count_check("flow", allowed, s_src.to_obs());
+    if allowed {
         Ok(())
     } else {
         Err(DifcError::SecrecyViolation { leaked })
@@ -117,6 +128,14 @@ impl FlowCheck {
 ///
 /// Returns the label change the subject must undergo, if any.
 pub fn labels_for_read(subj: &LabelPair, caps: &CapSet, obj: &LabelPair) -> FlowCheck {
+    let check = labels_for_read_unobserved(subj, caps, obj);
+    // Reads move the object's data toward the subject: the described flow
+    // carries the object's secrecy.
+    w5_obs::count_check("read", check.is_allowed(), obj.secrecy.to_obs());
+    check
+}
+
+fn labels_for_read_unobserved(subj: &LabelPair, caps: &CapSet, obj: &LabelPair) -> FlowCheck {
     let need_raise = obj.secrecy.difference(&subj.secrecy);
     let new_secrecy = if need_raise.is_empty() {
         subj.secrecy.clone()
@@ -156,6 +175,14 @@ pub fn labels_for_read(subj: &LabelPair, caps: &CapSet, obj: &LabelPair) -> Flow
 /// the subject to vouch the object's integrity
 /// (`I_obj ⊆ I_subj ∪ O⁺`: no forging endorsements).
 pub fn labels_for_write(subj: &LabelPair, caps: &CapSet, obj: &LabelPair) -> FlowCheck {
+    let check = labels_for_write_unobserved(subj, caps, obj);
+    // Writes move the subject's data toward the object: the described flow
+    // carries the subject's secrecy.
+    w5_obs::count_check("write", check.is_allowed(), subj.secrecy.to_obs());
+    check
+}
+
+fn labels_for_write_unobserved(subj: &LabelPair, caps: &CapSet, obj: &LabelPair) -> FlowCheck {
     let leaked: Label = subj
         .secrecy
         .iter()

@@ -55,7 +55,7 @@ pub fn hex_encode(data: &[u8]) -> String {
 
 /// Hex decoding.
 pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err("odd-length hex".to_string());
     }
     let bytes = s.as_bytes();

@@ -149,6 +149,7 @@ impl Kernel {
         limits: ResourceLimits,
     ) -> ProcessId {
         let id = ProcessId(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        let obs_secrecy = labels.secrecy.to_obs();
         let proc = Process {
             id,
             name: name.to_string(),
@@ -160,6 +161,10 @@ impl Kernel {
             parent: None,
         };
         self.inner.lock().procs.insert(id, proc);
+        w5_obs::record(
+            obs_secrecy,
+            w5_obs::EventKind::ProcSpawn { pid: id.0, parent: 0, name: name.to_string() },
+        );
         id
     }
 
@@ -182,6 +187,8 @@ impl Kernel {
             return Err(KernelError::GrantNotHeld);
         }
         let id = ProcessId(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        let obs_secrecy = spec.labels.secrecy.to_obs();
+        let child_name = spec.name.clone();
         let child = Process {
             id,
             name: spec.name,
@@ -193,6 +200,11 @@ impl Kernel {
             parent: Some(parent),
         };
         inner.procs.insert(id, child);
+        drop(inner);
+        w5_obs::record(
+            obs_secrecy,
+            w5_obs::EventKind::ProcSpawn { pid: id.0, parent: parent.0, name: child_name },
+        );
         Ok(id)
     }
 
@@ -246,6 +258,11 @@ impl Kernel {
             return Err(KernelError::ProcessDead(pid));
         }
         p.caps.extend(&creator_caps);
+        drop(inner);
+        w5_obs::record(
+            w5_obs::ObsLabel::empty(),
+            w5_obs::EventKind::TagGrant { pid: pid.0, tag: tag.raw() },
+        );
         Ok(tag)
     }
 
@@ -287,6 +304,15 @@ impl Kernel {
         for c in caps.iter() {
             p.caps.remove(c);
         }
+        drop(inner);
+        w5_obs::record(
+            w5_obs::ObsLabel::empty(),
+            w5_obs::EventKind::CapabilityUse {
+                pid: pid.0,
+                op: "drop".to_string(),
+                count: caps.len() as u64,
+            },
+        );
         Ok(())
     }
 
@@ -300,6 +326,15 @@ impl Kernel {
             .get_mut(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         p.caps.extend(caps);
+        drop(inner);
+        w5_obs::record(
+            w5_obs::ObsLabel::empty(),
+            w5_obs::EventKind::CapabilityUse {
+                pid: pid.0,
+                op: "grant".to_string(),
+                count: caps.len() as u64,
+            },
+        );
         Ok(())
     }
 
@@ -381,6 +416,18 @@ impl Kernel {
         );
         if let Err(e) = secrecy_ok.and(integrity_ok) {
             inner.stats.sends_dropped += 1;
+            drop(inner);
+            // The drop itself is sender-labeled data: who tried to reach whom
+            // is only visible to viewers cleared for the sender's secrecy.
+            w5_obs::record(
+                s_labels.secrecy.to_obs(),
+                w5_obs::EventKind::IpcSend {
+                    from: from.0,
+                    to: to.0,
+                    bytes: payload.len() as u64,
+                    delivered: false,
+                },
+            );
             return Err(e.into());
         }
 
@@ -390,12 +437,18 @@ impl Kernel {
             let p = inner.procs.get_mut(&from).expect("sender checked above");
             p.container.charge_network(size)?;
         }
+        let obs_secrecy = s_labels.secrecy.to_obs();
         let msg = Message { from, payload, labels: s_labels, grant };
         let q = inner.procs.get_mut(&to).expect("receiver checked above");
         q.mailbox.push_back(msg);
         if q.state == ProcessState::Blocked {
             q.state = ProcessState::Runnable;
         }
+        drop(inner);
+        w5_obs::record(
+            obs_secrecy,
+            w5_obs::EventKind::IpcSend { from: from.0, to: to.0, bytes: size, delivered: true },
+        );
         Ok(())
     }
 
@@ -414,6 +467,11 @@ impl Kernel {
         match p.mailbox.pop_front() {
             Some(msg) => {
                 p.caps.extend(&msg.grant);
+                drop(inner);
+                w5_obs::record(
+                    msg.labels.secrecy.to_obs(),
+                    w5_obs::EventKind::IpcRecv { pid: pid.0, bytes: msg.payload.len() as u64 },
+                );
                 Ok(Some(msg))
             }
             None => {

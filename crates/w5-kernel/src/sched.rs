@@ -135,6 +135,18 @@ impl Scheduler {
                         }
                         now += cost;
                         *report.executed.entry(entry.pid).or_default() += cost;
+                        // Quantum accounting is labeled with the task's
+                        // current secrecy: CPU-use patterns of a tainted
+                        // process are themselves tainted (§3.5).
+                        let secrecy = self
+                            .kernel
+                            .labels(entry.pid)
+                            .map(|l| l.secrecy.to_obs())
+                            .unwrap_or_default();
+                        w5_obs::record(
+                            secrecy,
+                            w5_obs::EventKind::ScheduleQuantum { pid: entry.pid.0, ticks: cost },
+                        );
                         progressed = true;
                     }
                     Step::Blocked => {}

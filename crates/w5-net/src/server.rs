@@ -205,7 +205,22 @@ fn serve_connection(
             }
         };
         let keep = request.keep_alive() && !stop.load(Ordering::SeqCst);
+        let (method, path) = (request.method, request.path.clone());
+        let started = std::time::Instant::now();
         let response = handler.handle(request, peer);
+        let elapsed = started.elapsed();
+        // The HTTP front end sees only the wire: request spans are public
+        // (any label-bearing data is the platform's concern downstream).
+        w5_obs::record(
+            w5_obs::ObsLabel::empty(),
+            w5_obs::EventKind::HttpRequest {
+                method: format!("{method}"),
+                path,
+                status: response.status.0,
+                micros: elapsed.as_micros() as u64,
+            },
+        );
+        w5_obs::time("net.http", &w5_obs::ObsLabel::empty(), elapsed);
         served.fetch_add(1, Ordering::Relaxed);
         response.write_to(&mut write_half, keep)?;
         if !keep {

@@ -1,0 +1,272 @@
+//! Typed ledger events.
+//!
+//! One flat enum covers all five instrumented layers; [`EventKind::layer`]
+//! maps a variant to the layer whose counters it bumps, and
+//! [`EventKind::denied`] marks the events every audit consumer cares about
+//! (refused flows are always written to the ring, never sampled away).
+
+use crate::label::ObsLabel;
+
+/// The stack layer an event originated from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// Process table, IPC, scheduler (`w5-kernel`).
+    Kernel,
+    /// Flow rules and tag registry (`w5-difc`).
+    Difc,
+    /// Perimeter, declassifiers, sanitizer, launcher (`w5-platform`).
+    Platform,
+    /// HTTP server and router (`w5-net`).
+    Net,
+    /// Labeled filesystem and database (`w5-store`).
+    Store,
+}
+
+impl Layer {
+    /// All layers, in counter-index order.
+    pub const ALL: [Layer; 5] =
+        [Layer::Kernel, Layer::Difc, Layer::Platform, Layer::Net, Layer::Store];
+
+    /// Stable lowercase name (JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Kernel => "kernel",
+            Layer::Difc => "difc",
+            Layer::Platform => "platform",
+            Layer::Net => "net",
+            Layer::Store => "store",
+        }
+    }
+
+    /// Counter-array index.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Layer::Kernel => 0,
+            Layer::Difc => 1,
+            Layer::Platform => 2,
+            Layer::Net => 3,
+            Layer::Store => 4,
+        }
+    }
+}
+
+/// What happened. Field conventions: process ids are the kernel's raw
+/// `u64`s (0 = none/trusted), byte counts are payload sizes, `allowed`
+/// is the decision outcome.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum EventKind {
+    // ---- kernel ----
+    /// A process was created (trusted create or checked spawn).
+    ProcSpawn {
+        /// New process id.
+        pid: u64,
+        /// Parent process id (0 for trusted creation).
+        parent: u64,
+        /// Audit name.
+        name: String,
+    },
+    /// An IPC send was checked for delivery.
+    IpcSend {
+        /// Sender pid.
+        from: u64,
+        /// Receiver pid.
+        to: u64,
+        /// Payload bytes.
+        bytes: u64,
+        /// False when the flow rules dropped the message.
+        delivered: bool,
+    },
+    /// A message was dequeued from a mailbox.
+    IpcRecv {
+        /// Receiving pid.
+        pid: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// The scheduler granted a task a slice of virtual time.
+    ScheduleQuantum {
+        /// The scheduled pid.
+        pid: u64,
+        /// Virtual ticks executed.
+        ticks: u64,
+    },
+    // ---- difc ----
+    /// A flow-rule check ran (send admissibility, label change, read/write
+    /// admissibility).
+    LabelCheck {
+        /// Which rule: `"flow"`, `"change"`, `"read"`, `"write"`.
+        op: String,
+        /// Did the rule bless the operation?
+        allowed: bool,
+    },
+    /// A tag was allocated in the registry.
+    TagCreate {
+        /// Raw tag id.
+        tag: u64,
+        /// Distribution kind (`"export"`, `"write"`, `"read"`).
+        kind: String,
+    },
+    /// A process received creator capabilities for a tag.
+    TagGrant {
+        /// The receiving pid.
+        pid: u64,
+        /// Raw tag id.
+        tag: u64,
+    },
+    /// Capabilities moved in or out of a process's private bag.
+    CapabilityUse {
+        /// The pid whose bag changed.
+        pid: u64,
+        /// `"grant"` or `"drop"`.
+        op: String,
+        /// Number of capabilities moved.
+        count: u64,
+    },
+    // ---- platform ----
+    /// The export perimeter ruled on an outgoing response.
+    ExportCheck {
+        /// Application that produced the response.
+        app: String,
+        /// Was the export permitted?
+        allowed: bool,
+        /// Number of secrecy tags that blocked it (0 iff allowed).
+        blocked_tags: u64,
+    },
+    /// A declassifier was consulted.
+    DeclassifierInvoke {
+        /// Declassifier name.
+        name: String,
+        /// Its verdict.
+        allowed: bool,
+    },
+    /// The HTML sanitizer processed an outgoing document.
+    SanitizerRun {
+        /// Total scripts/handlers/URLs removed.
+        removed: u64,
+    },
+    // ---- net ----
+    /// An HTTP request completed.
+    HttpRequest {
+        /// Request method.
+        method: String,
+        /// Request path.
+        path: String,
+        /// Response status code.
+        status: u16,
+        /// Wall-clock handling time in microseconds.
+        micros: u64,
+    },
+    /// The router resolved (or failed to resolve) a path.
+    RouteResolve {
+        /// The path looked up.
+        path: String,
+        /// Did any route match?
+        matched: bool,
+    },
+    // ---- store ----
+    /// A labeled read (file or row) was attempted.
+    StoreRead {
+        /// Path or table.
+        path: String,
+        /// Bytes returned (0 on refusal).
+        bytes: u64,
+        /// Did the labels admit the read?
+        allowed: bool,
+    },
+    /// A labeled write/create/delete was attempted.
+    StoreWrite {
+        /// Path or table.
+        path: String,
+        /// Bytes written.
+        bytes: u64,
+        /// Did the labels admit the write?
+        allowed: bool,
+    },
+}
+
+impl EventKind {
+    /// The layer whose counters this event bumps.
+    pub fn layer(&self) -> Layer {
+        match self {
+            EventKind::ProcSpawn { .. }
+            | EventKind::IpcSend { .. }
+            | EventKind::IpcRecv { .. }
+            | EventKind::ScheduleQuantum { .. } => Layer::Kernel,
+            EventKind::LabelCheck { .. }
+            | EventKind::TagCreate { .. }
+            | EventKind::TagGrant { .. }
+            | EventKind::CapabilityUse { .. } => Layer::Difc,
+            EventKind::ExportCheck { .. }
+            | EventKind::DeclassifierInvoke { .. }
+            | EventKind::SanitizerRun { .. } => Layer::Platform,
+            EventKind::HttpRequest { .. } | EventKind::RouteResolve { .. } => Layer::Net,
+            EventKind::StoreRead { .. } | EventKind::StoreWrite { .. } => Layer::Store,
+        }
+    }
+
+    /// True when the event records a refused operation (these are always
+    /// written to the ring).
+    pub fn denied(&self) -> bool {
+        match self {
+            EventKind::IpcSend { delivered, .. } => !delivered,
+            EventKind::LabelCheck { allowed, .. }
+            | EventKind::ExportCheck { allowed, .. }
+            | EventKind::DeclassifierInvoke { allowed, .. }
+            | EventKind::StoreRead { allowed, .. }
+            | EventKind::StoreWrite { allowed, .. } => !allowed,
+            _ => false,
+        }
+    }
+}
+
+/// One ledger entry: a sequence number, the secrecy label of the flow the
+/// event describes, and the typed payload.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Event {
+    /// Monotone sequence number. In a view where any event was withheld,
+    /// sequence numbers are re-issued densely so that gaps cannot leak the
+    /// count of hidden events (see `DESIGN.md` §9).
+    pub seq: u64,
+    /// Secrecy label of the described flow.
+    pub secrecy: ObsLabel,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_mapping_is_total() {
+        let samples = [
+            EventKind::ProcSpawn { pid: 1, parent: 0, name: "x".into() },
+            EventKind::LabelCheck { op: "flow".into(), allowed: true },
+            EventKind::ExportCheck { app: "a/b".into(), allowed: false, blocked_tags: 1 },
+            EventKind::HttpRequest { method: "GET".into(), path: "/".into(), status: 200, micros: 1 },
+            EventKind::StoreRead { path: "/f".into(), bytes: 3, allowed: true },
+        ];
+        let layers: Vec<Layer> = samples.iter().map(EventKind::layer).collect();
+        assert_eq!(layers, Layer::ALL.to_vec());
+    }
+
+    #[test]
+    fn denial_flags() {
+        assert!(EventKind::IpcSend { from: 1, to: 2, bytes: 0, delivered: false }.denied());
+        assert!(!EventKind::IpcSend { from: 1, to: 2, bytes: 0, delivered: true }.denied());
+        assert!(EventKind::StoreWrite { path: "/x".into(), bytes: 0, allowed: false }.denied());
+        assert!(!EventKind::ScheduleQuantum { pid: 1, ticks: 5 }.denied());
+    }
+
+    #[test]
+    fn event_json_roundtrip() {
+        let e = Event {
+            seq: 42,
+            secrecy: ObsLabel::from_tags([3]),
+            kind: EventKind::ExportCheck { app: "devA/photos".into(), allowed: false, blocked_tags: 1 },
+        };
+        let s = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,4 +1,9 @@
 //! Log-bucketed latency histograms.
+//!
+//! Promoted from `w5-sim` (which now re-exports this module) so the ledger
+//! and the experiment harnesses share one implementation. Buckets are
+//! powers of two subdivided 16 ways, giving ~4% worst-case resolution from
+//! nanoseconds to minutes.
 
 use std::time::Duration;
 
@@ -136,6 +141,38 @@ impl Histogram {
             self.max_ns as f64 / 1e3,
         )
     }
+
+    /// A serializable point-in-time digest (what ledger views export).
+    pub fn digest(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.total,
+            mean_ns: self.mean_ns(),
+            p50_ns: self.percentile_ns(0.50),
+            p90_ns: self.percentile_ns(0.90),
+            p99_ns: self.percentile_ns(0.99),
+            min_ns: self.min_ns(),
+            max_ns: self.max_ns(),
+        }
+    }
+}
+
+/// Plain-struct digest of a [`Histogram`], for JSON snapshots.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean in nanoseconds.
+    pub mean_ns: f64,
+    /// Median (lower bucket bound).
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Minimum sample.
+    pub min_ns: u64,
+    /// Maximum sample.
+    pub max_ns: u64,
 }
 
 #[cfg(test)]
@@ -179,6 +216,30 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_track_exact_quantiles_within_bucket_resolution() {
+        // Uniform samples over a wide range: every reported percentile must
+        // be a lower bound on the exact quantile and within one bucket
+        // (~7%) of it.
+        let mut h = Histogram::new();
+        let n = 10_000u64;
+        for i in 1..=n {
+            h.record_ns(i * 37); // 37ns .. 370µs
+        }
+        for &(p, rank) in &[(0.5, n / 2), (0.9, n * 9 / 10), (0.99, n * 99 / 100)] {
+            let exact = rank * 37;
+            let approx = h.percentile_ns(p);
+            assert!(approx <= exact, "p{p}: approx {approx} > exact {exact}");
+            let err = (exact - approx) as f64 / exact as f64;
+            assert!(err < 0.07, "p{p}: approx {approx} exact {exact} err {err}");
+        }
+        // Extremes: p0 is the exact minimum; p100 is within a bucket of the
+        // exact maximum (and never above it).
+        assert_eq!(h.percentile_ns(0.0), 37);
+        let p100 = h.percentile_ns(1.0);
+        assert!(p100 <= n * 37 && p100 >= n * 37 * 93 / 100, "{p100}");
+    }
+
+    #[test]
     fn empty_histogram_is_calm() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
@@ -205,5 +266,18 @@ mod tests {
         h.record(Duration::from_micros(50));
         let s = h.summary();
         assert!(s.contains("n=1"), "{s}");
+    }
+
+    #[test]
+    fn digest_roundtrips_through_json() {
+        let mut h = Histogram::new();
+        for i in 1..=100u64 {
+            h.record_ns(i * 10);
+        }
+        let d = h.digest();
+        let s = serde_json::to_string(&d).unwrap();
+        let back: HistogramSummary = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.count, 100);
     }
 }

@@ -1,0 +1,154 @@
+//! Observability-side secrecy labels.
+//!
+//! `w5-obs` sits below `w5-difc` in the crate graph, so it cannot name
+//! `w5_difc::Label` directly; an [`ObsLabel`] is the same mathematical
+//! object — a sorted, deduplicated set of tag ids — carried as raw `u64`s.
+//! `w5-difc` provides the lossless conversion from its `Label`.
+
+/// A secrecy label as the ledger sees it: sorted, deduplicated raw tag ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct ObsLabel(Vec<u64>);
+
+impl ObsLabel {
+    /// The empty (public) label.
+    pub fn empty() -> ObsLabel {
+        ObsLabel(Vec::new())
+    }
+
+    /// A label of a single tag id.
+    pub fn singleton(tag: u64) -> ObsLabel {
+        ObsLabel(vec![tag])
+    }
+
+    /// Build from arbitrary tag ids (sorted and deduplicated here).
+    pub fn from_tags<I: IntoIterator<Item = u64>>(tags: I) -> ObsLabel {
+        let mut v: Vec<u64> = tags.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        ObsLabel(v)
+    }
+
+    /// Build from a vector the caller guarantees is sorted and deduplicated
+    /// (e.g. produced from an already-sorted `w5_difc::Label`). Checked in
+    /// debug builds.
+    pub fn from_sorted(v: Vec<u64>) -> ObsLabel {
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "obs label not strictly sorted");
+        ObsLabel(v)
+    }
+
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the public label.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tag: u64) -> bool {
+        self.0.binary_search(&tag).is_ok()
+    }
+
+    /// Iterate tag ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// `self ⊆ other` by linear merge. This is the clearance test: an event
+    /// labeled `self` may flow to a viewer cleared for `other` exactly when
+    /// the no-privilege secrecy rule `S_event ⊆ S_viewer` holds.
+    pub fn is_subset(&self, other: &ObsLabel) -> bool {
+        if self.0.len() > other.0.len() {
+            return false;
+        }
+        let mut oi = other.0.iter();
+        'outer: for t in &self.0 {
+            for o in oi.by_ref() {
+                match o.cmp(t) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// `self ∪ other` (used to accumulate the label of a latency series).
+    pub fn union(&self, other: &ObsLabel) -> ObsLabel {
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        ObsLabel(out)
+    }
+}
+
+impl FromIterator<u64> for ObsLabel {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> ObsLabel {
+        ObsLabel::from_tags(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_semantics() {
+        let empty = ObsLabel::empty();
+        let a = ObsLabel::from_tags([3, 1]);
+        let b = ObsLabel::from_tags([1, 2, 3]);
+        assert!(empty.is_subset(&empty));
+        assert!(empty.is_subset(&a));
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+    }
+
+    #[test]
+    fn from_tags_sorts_and_dedups() {
+        let l = ObsLabel::from_tags([5, 1, 5, 3]);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(l.len(), 3);
+        assert!(l.contains(3));
+        assert!(!l.contains(4));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = ObsLabel::from_tags([1, 3]);
+        let b = ObsLabel::from_tags([2, 3]);
+        assert_eq!(a.union(&b).iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let l = ObsLabel::from_tags([7, 9]);
+        let json = serde_json::to_string(&l).unwrap();
+        assert_eq!(json, "[7,9]");
+        let back: ObsLabel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, l);
+    }
+}

@@ -1,0 +1,63 @@
+//! # w5-obs — the label-aware flow ledger
+//!
+//! Unified tracing, metrics and audit for the whole W5 stack. Every layer
+//! (kernel, DIFC rules, platform, net, store) records typed [`Event`]s into
+//! one process-wide [`Ledger`]; each event carries the **secrecy label of
+//! the flow it describes**, and reading the ledger is itself a labeled
+//! operation: [`Ledger::view`] takes the viewer's clearance, returns the
+//! events that clearance covers verbatim, and collapses everything else
+//! into rate-limited, quantized, label-aggregated counts. Observability
+//! must not become the §3.5 covert channel it exists to watch for.
+//!
+//! Layering: this crate sits *below* `w5-difc` so that even the flow rules
+//! themselves can be instrumented. It therefore cannot use [`w5_difc::Label`];
+//! instead [`ObsLabel`] holds the raw sorted tag ids, and clearance checks
+//! are plain subset tests — exactly the no-privilege secrecy-flow rule
+//! (`S_event ⊆ S_viewer`).
+//!
+//! Cost model: counters are lock-free atomics on every path; the bounded
+//! event ring and the latency registry take a short mutex. The hottest
+//! call sites (per-message flow checks in `w5-difc::rules`) use
+//! [`Ledger::count_check`], which only touches atomics for passes and
+//! reserves ring writes for denials plus a deterministic 1-in-16 sample
+//! of passes.
+
+pub mod event;
+pub mod histogram;
+pub mod label;
+pub mod ledger;
+pub mod snapshot;
+
+pub use event::{Event, EventKind, Layer};
+pub use histogram::{Histogram, HistogramSummary};
+pub use label::ObsLabel;
+pub use ledger::{Aggregate, Ledger, LedgerView};
+pub use snapshot::{snapshot_json, Snapshot};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Ledger> = OnceLock::new();
+
+/// The process-wide ledger all instrumentation records into.
+pub fn global() -> &'static Ledger {
+    GLOBAL.get_or_init(Ledger::new)
+}
+
+/// Record an event into the global ledger. The secrecy label must be the
+/// label of the *flow the event describes* (the data moved, the process
+/// scheduled, the response checked) — not the label of the code recording
+/// it.
+pub fn record(secrecy: ObsLabel, kind: EventKind) {
+    global().record(secrecy, kind);
+}
+
+/// Record a latency sample for a named operation into the global ledger.
+pub fn time(op: &str, secrecy: &ObsLabel, d: std::time::Duration) {
+    global().time(op, secrecy, d);
+}
+
+/// Hot-path flow-check accounting on the global ledger (see
+/// [`Ledger::count_check`]).
+pub fn count_check(op: &'static str, allowed: bool, secrecy: ObsLabel) {
+    global().count_check(op, allowed, secrecy);
+}

@@ -1,0 +1,53 @@
+//! A uniform "give me a serializable snapshot" trait.
+//!
+//! Counter blocks across the stack (`PerimeterStats`, `PlatformStats`,
+//! `SanitizeStats`, `KernelStats`, …) are live structures full of atomics
+//! or incrementing fields; exporting them means flattening to a plain
+//! struct of values. Implementors define that plain struct as
+//! [`Snapshot::View`] and the flattening as [`Snapshot::snapshot`]; any
+//! snapshot can then be shipped through `serde_json` uniformly.
+
+/// Anything that can flatten itself into a serializable point-in-time view.
+pub trait Snapshot {
+    /// The plain-struct snapshot type.
+    type View: serde::Serialize + serde::Deserialize;
+
+    /// Capture the current values.
+    fn snapshot(&self) -> Self::View;
+}
+
+/// Serialize any snapshot source straight to a JSON string.
+pub fn snapshot_json<S: Snapshot>(source: &S) -> serde_json::Result<String> {
+    serde_json::to_string(&source.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct Hits(AtomicU64);
+
+    #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct HitsView {
+        hits: u64,
+    }
+
+    impl Snapshot for Hits {
+        type View = HitsView;
+        fn snapshot(&self) -> HitsView {
+            HitsView { hits: self.0.load(Ordering::Relaxed) }
+        }
+    }
+
+    #[test]
+    fn snapshot_serializes_and_roundtrips() {
+        let h = Hits::default();
+        h.0.fetch_add(3, Ordering::Relaxed);
+        let json = snapshot_json(&h).unwrap();
+        assert_eq!(json, r#"{"hits":3}"#);
+        let back: HitsView = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h.snapshot());
+    }
+}

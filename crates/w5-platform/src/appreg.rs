@@ -197,7 +197,7 @@ impl AppRegistry {
     pub fn list(&self) -> Vec<AppManifest> {
         let apps = self.apps.read();
         let mut v: Vec<AppManifest> = apps.values().filter_map(|vs| vs.last().cloned()).collect();
-        v.sort_by(|a, b| a.key().cmp(&b.key()));
+        v.sort_by_key(|a| a.key());
         v
     }
 

@@ -254,6 +254,30 @@ impl DeclassifierRegistry {
         self.by_name.read().get(name).cloned()
     }
 
+    /// Look up and consult a declassifier, recording the verdict in the
+    /// flow ledger. `secrecy` is the label of the data the verdict would
+    /// release; even a denial reveals that this owner's data was requested,
+    /// so the event carries the full label. Returns `None` if the
+    /// declassifier does not exist (no event: nothing was consulted).
+    pub fn consult(
+        &self,
+        name: &str,
+        ctx: &ExportContext,
+        oracle: &dyn RelationshipOracle,
+        secrecy: &w5_obs::ObsLabel,
+    ) -> Option<Verdict> {
+        let d = self.get(name)?;
+        let verdict = d.authorize(ctx, oracle);
+        w5_obs::record(
+            secrecy.clone(),
+            w5_obs::EventKind::DeclassifierInvoke {
+                name: name.to_string(),
+                allowed: verdict == Verdict::Allow,
+            },
+        );
+        Some(verdict)
+    }
+
     /// Catalog listing: (name, description, audit_lines), sorted by name.
     pub fn list(&self) -> Vec<(&'static str, &'static str, usize)> {
         let mut v: Vec<_> = self

@@ -20,8 +20,10 @@ use crate::declass::{DeclassifierRegistry, ExportContext, RelationshipOracle, Ve
 use crate::policy::PolicyStore;
 use crate::principal::{Account, AccountStore, UserId};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use w5_difc::{LabelPair, Tag};
+use w5_obs::Snapshot;
 
 /// How one tag was cleared.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -71,10 +73,33 @@ pub struct PerimeterStats {
     pub declassifier_calls: AtomicU64,
 }
 
+/// Serializable snapshot of [`PerimeterStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PerimeterStatsView {
+    /// Responses checked.
+    pub checked: u64,
+    /// Responses blocked.
+    pub blocked: u64,
+    /// Individual declassifier consultations.
+    pub declassifier_calls: u64,
+}
+
+impl Snapshot for PerimeterStats {
+    type View = PerimeterStatsView;
+    fn snapshot(&self) -> PerimeterStatsView {
+        PerimeterStatsView {
+            checked: self.checked.load(Ordering::Relaxed),
+            blocked: self.blocked.load(Ordering::Relaxed),
+            declassifier_calls: self.declassifier_calls.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The exporter. One per platform instance.
 pub struct Exporter {
     stats: PerimeterStats,
-    audit: Mutex<Vec<AuditEntry>>,
+    /// Audit ring: oldest entries evicted from the front in O(1).
+    audit: Mutex<VecDeque<AuditEntry>>,
     /// Cap on retained audit entries (ring semantics).
     audit_cap: usize,
 }
@@ -88,7 +113,16 @@ impl Default for Exporter {
 impl Exporter {
     /// A fresh exporter.
     pub fn new() -> Exporter {
-        Exporter { stats: PerimeterStats::default(), audit: Mutex::new(Vec::new()), audit_cap: 10_000 }
+        Exporter {
+            stats: PerimeterStats::default(),
+            audit: Mutex::new(VecDeque::new()),
+            audit_cap: 10_000,
+        }
+    }
+
+    /// An exporter retaining at most `cap` audit entries (test/tuning use).
+    pub fn with_audit_cap(cap: usize) -> Exporter {
+        Exporter { audit_cap: cap.max(1), ..Exporter::new() }
     }
 
     /// Decide whether `labels` may be exported to `viewer` for a response
@@ -104,6 +138,7 @@ impl Exporter {
         declassifiers: &DeclassifierRegistry,
         oracle: &dyn RelationshipOracle,
     ) -> ExportDecision {
+        let started = std::time::Instant::now();
         self.stats.checked.fetch_add(1, Ordering::Relaxed);
         let mut cleared = Vec::new();
         let mut blocked = Vec::new();
@@ -128,9 +163,10 @@ impl Exporter {
                     app: app.to_string(),
                 };
                 for name in policy.granted_for(app) {
-                    if let Some(d) = declassifiers.get(&name) {
+                    let secrecy = w5_obs::ObsLabel::singleton(tag.raw());
+                    if let Some(verdict) = declassifiers.consult(&name, &ctx, oracle, &secrecy) {
                         self.stats.declassifier_calls.fetch_add(1, Ordering::Relaxed);
-                        if d.authorize(&ctx, oracle) == Verdict::Allow {
+                        if verdict == Verdict::Allow {
                             return Some(Clearance::Declassifier { name });
                         }
                     }
@@ -147,16 +183,30 @@ impl Exporter {
         if !allowed {
             self.stats.blocked.fetch_add(1, Ordering::Relaxed);
         }
-        let mut audit = self.audit.lock();
-        if audit.len() >= self.audit_cap {
-            audit.remove(0);
+        {
+            let mut audit = self.audit.lock();
+            if audit.len() >= self.audit_cap {
+                audit.pop_front();
+            }
+            audit.push_back(AuditEntry {
+                viewer: viewer.map(|v| v.id),
+                app: app.to_string(),
+                allowed,
+                secrecy_tags: labels.secrecy.iter().collect(),
+            });
         }
-        audit.push(AuditEntry {
-            viewer: viewer.map(|v| v.id),
-            app: app.to_string(),
-            allowed,
-            secrecy_tags: labels.secrecy.iter().collect(),
-        });
+        // The decision is labeled with the response's secrecy: a blocked
+        // export names the tags that blocked it, which is exactly the data
+        // the perimeter refused to release.
+        w5_obs::record(
+            labels.secrecy.to_obs(),
+            w5_obs::EventKind::ExportCheck {
+                app: app.to_string(),
+                allowed,
+                blocked_tags: blocked.len() as u64,
+            },
+        );
+        w5_obs::time("platform.export_check", &labels.secrecy.to_obs(), started.elapsed());
         ExportDecision { allowed, cleared, blocked }
     }
 
@@ -169,9 +219,14 @@ impl Exporter {
         )
     }
 
+    /// Serializable counter snapshot.
+    pub fn stats_view(&self) -> PerimeterStatsView {
+        self.stats.snapshot()
+    }
+
     /// Recent audit entries (most recent last).
     pub fn audit_log(&self) -> Vec<AuditEntry> {
-        self.audit.lock().clone()
+        self.audit.lock().iter().cloned().collect()
     }
 }
 
@@ -370,6 +425,50 @@ mod tests {
         );
         assert!(d.allowed);
         assert!(d.cleared.is_empty());
+    }
+
+    #[test]
+    fn audit_ring_evicts_oldest_first() {
+        let w = world();
+        let exporter = Exporter::with_audit_cap(3);
+        for i in 0..7 {
+            let _ = exporter.check(
+                &bob_data(&w),
+                Some(&w.bob),
+                &format!("devA/app{i}"),
+                &w.accounts,
+                &w.policies,
+                &w.declass,
+                &w.rel,
+            );
+        }
+        let log = exporter.audit_log();
+        assert_eq!(log.len(), 3, "ring capped");
+        // Oldest entries gone, survivors in arrival order.
+        let apps: Vec<&str> = log.iter().map(|e| e.app.as_str()).collect();
+        assert_eq!(apps, ["devA/app4", "devA/app5", "devA/app6"]);
+        // Counters see every check despite eviction.
+        assert_eq!(exporter.stats().0, 7);
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrips() {
+        let w = world();
+        let _ = w.exporter.check(
+            &bob_data(&w),
+            Some(&w.alice),
+            "devA/photos",
+            &w.accounts,
+            &w.policies,
+            &w.declass,
+            &w.rel,
+        );
+        let view = w.exporter.stats_view();
+        assert_eq!(view.checked, 1);
+        assert_eq!(view.blocked, 1);
+        let json = w5_obs::snapshot_json(&w.exporter.stats).unwrap();
+        let back: PerimeterStatsView = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, view);
     }
 
     #[test]

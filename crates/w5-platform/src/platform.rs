@@ -15,7 +15,7 @@ use crate::faultreport::{build_report, FaultKind, FaultReport};
 use crate::perimeter::{ExportDecision, Exporter};
 use crate::policy::PolicyStore;
 use crate::principal::{Account, AccountStore};
-use crate::sanitize::{sanitize_html, SanitizeStats};
+use crate::sanitize::{sanitize_html_labeled, SanitizeStats};
 use crate::session::SessionStore;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -83,6 +83,28 @@ pub struct PlatformStats {
     pub faults: AtomicU64,
 }
 
+/// Serializable snapshot of [`PlatformStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PlatformStatsView {
+    /// Application invocations.
+    pub invocations: u64,
+    /// Invocations whose export was blocked.
+    pub exports_blocked: u64,
+    /// Application faults.
+    pub faults: u64,
+}
+
+impl w5_obs::Snapshot for PlatformStats {
+    type View = PlatformStatsView;
+    fn snapshot(&self) -> PlatformStatsView {
+        PlatformStatsView {
+            invocations: self.invocations.load(Ordering::Relaxed),
+            exports_blocked: self.exports_blocked.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// One W5 provider instance.
 pub struct Platform {
     /// Provider name (federation / diagnostics).
@@ -114,7 +136,7 @@ pub struct Platform {
     /// Counters.
     pub stats: PlatformStats,
     impls: RwLock<HashMap<String, Arc<dyn W5App>>>,
-    faults: Mutex<Vec<FaultReport>>,
+    faults: Mutex<std::collections::VecDeque<FaultReport>>,
 }
 
 impl Platform {
@@ -166,7 +188,7 @@ impl Platform {
             config,
             stats: PlatformStats::default(),
             impls: RwLock::new(HashMap::new()),
-            faults: Mutex::new(Vec::new()),
+            faults: Mutex::new(std::collections::VecDeque::new()),
         })
     }
 
@@ -246,6 +268,7 @@ impl Platform {
         request: AppRequest,
     ) -> InvokeResult {
         self.stats.invocations.fetch_add(1, Ordering::Relaxed);
+        let invoke_started = std::time::Instant::now();
 
         let Some(manifest) = self.resolve_manifest(viewer, app_key) else {
             return error_result(404, "no such application");
@@ -365,6 +388,13 @@ impl Platform {
 
         let _ = self.kernel.exit(pid);
         let _ = self.kernel.reap(pid);
+        // Invocation latency is labeled with the labels the instance ended
+        // with: a tainted app's timing profile is tainted data.
+        w5_obs::time(
+            "platform.invoke",
+            &result.labels.secrecy.to_obs(),
+            invoke_started.elapsed(),
+        );
         result
     }
 
@@ -407,7 +437,10 @@ impl Platform {
         let (body, sanitized) = if self.config.sanitize_html
             && response.content_type.starts_with("text/html")
         {
-            let (clean, stats) = sanitize_html(&String::from_utf8_lossy(&response.body));
+            let (clean, stats) = sanitize_html_labeled(
+                &String::from_utf8_lossy(&response.body),
+                &labels.secrecy.to_obs(),
+            );
             (Bytes::from(clean), Some(stats))
         } else {
             (response.body, None)
@@ -427,14 +460,20 @@ impl Platform {
         self.stats.faults.fetch_add(1, Ordering::Relaxed);
         let mut faults = self.faults.lock();
         if faults.len() >= 10_000 {
-            faults.remove(0);
+            faults.pop_front();
         }
-        faults.push(report);
+        faults.push_back(report);
     }
 
     /// Fault reports retained for developers (already label-scrubbed).
     pub fn fault_reports(&self) -> Vec<FaultReport> {
-        self.faults.lock().clone()
+        self.faults.lock().iter().cloned().collect()
+    }
+
+    /// Serializable counter snapshot.
+    pub fn stats_view(&self) -> PlatformStatsView {
+        use w5_obs::Snapshot;
+        self.stats.snapshot()
     }
 
     /// Build an [`AppRequest`] from decomposed parts (gateway + tests).

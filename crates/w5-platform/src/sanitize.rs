@@ -27,6 +27,43 @@ impl SanitizeStats {
     }
 }
 
+/// Serializable snapshot of [`SanitizeStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SanitizeStatsView {
+    /// `<script>…</script>` elements removed.
+    pub scripts_removed: u64,
+    /// `on*=` attributes removed.
+    pub handlers_removed: u64,
+    /// `javascript:` URLs neutralized.
+    pub js_urls_removed: u64,
+}
+
+impl w5_obs::Snapshot for SanitizeStats {
+    type View = SanitizeStatsView;
+    fn snapshot(&self) -> SanitizeStatsView {
+        SanitizeStatsView {
+            scripts_removed: self.scripts_removed as u64,
+            handlers_removed: self.handlers_removed as u64,
+            js_urls_removed: self.js_urls_removed as u64,
+        }
+    }
+}
+
+/// [`sanitize_html`] plus a ledger record: the run is labeled with the
+/// secrecy of the response being scrubbed, since removal counts are a
+/// function of (possibly secret) document content.
+pub fn sanitize_html_labeled(
+    input: &str,
+    secrecy: &w5_obs::ObsLabel,
+) -> (String, SanitizeStats) {
+    let (out, stats) = sanitize_html(input);
+    w5_obs::record(
+        secrecy.clone(),
+        w5_obs::EventKind::SanitizerRun { removed: stats.total() as u64 },
+    );
+    (out, stats)
+}
+
 /// Sanitize an HTML document, returning the cleaned text and statistics.
 /// Non-HTML content should bypass this (the gateway filters by content
 /// type).

@@ -122,10 +122,12 @@ mod tests {
     #[test]
     fn coderank_beats_popularity_on_spam_ring() {
         // The E6 claim in miniature: the spam ring manufactures in-degree
-        // (spam_ring=20 > any core module's honest in-degree share), so
-        // popularity surfaces spam; CodeRank discounts rank that only
-        // circulates inside the ring.
-        let w = generate(DepGraphConfig::default());
+        // above any core module's honest in-degree share, so popularity
+        // surfaces spam; CodeRank discounts rank that only circulates
+        // inside the ring. spam_ring=35 keeps the ring decisively above
+        // the weakest core module's expected honest in-degree (~20) for
+        // any RNG stream.
+        let w = generate(DepGraphConfig { spam_ring: 35, ..Default::default() });
         let rank = coderank(&w.graph, RankParams::default());
         let cr_prec = precision_at_k(&w.graph, &rank.ranking(), &w.core, 10);
         let pop_prec = precision_at_k(&w.graph, &popularity(&w.graph), &w.core, 10);

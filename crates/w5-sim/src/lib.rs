@@ -11,19 +11,20 @@
 //!   trustworthy core, for the CodeRank quality experiment (E6).
 //! * [`workload`] — weighted request mixes for the throughput/latency
 //!   experiments (E4).
-//! * [`histogram`] — log-bucketed latency histograms with percentiles.
+//! * [`histogram`] — log-bucketed latency histograms with percentiles
+//!   (promoted to `w5-obs` so the whole stack shares one implementation;
+//!   re-exported here for the experiment binaries).
 //! * [`table`] — plain-text table rendering for experiment reports.
 //!
 //! Everything is seeded and deterministic.
 
 pub mod depgraph;
-pub mod histogram;
 pub mod population;
 pub mod socialgraph;
 pub mod table;
 pub mod workload;
 
-pub use histogram::Histogram;
+pub use w5_obs::{histogram, Histogram};
 pub use population::{build_population, PopulationConfig, World};
 pub use table::Table;
 

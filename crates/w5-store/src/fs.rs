@@ -19,6 +19,19 @@ use std::collections::BTreeMap;
 use std::fmt;
 use w5_difc::LabelPair;
 
+/// Ledger a store access. The event is labeled with the *file's* secrecy:
+/// even a denied access leaks which file was probed, so only viewers
+/// cleared for the file may see per-event records (denials of invisible
+/// files must stay invisible — mirroring the `NotFound` masking below).
+fn ledger_access(path: &str, bytes: u64, labels: &LabelPair, write: bool, allowed: bool) {
+    let kind = if write {
+        w5_obs::EventKind::StoreWrite { path: path.to_string(), bytes, allowed }
+    } else {
+        w5_obs::EventKind::StoreRead { path: path.to_string(), bytes, allowed }
+    };
+    w5_obs::record(labels.secrecy.to_obs(), kind);
+}
+
 /// Filesystem errors.
 ///
 /// Note the deliberate asymmetry: reads of files the subject cannot know
@@ -115,6 +128,7 @@ impl LabeledFs {
     ) -> Result<(), FsError> {
         validate(path)?;
         if !subject.may_write(&labels) {
+            ledger_access(path, data.len() as u64, &labels, true, false);
             return Err(FsError::WriteDenied);
         }
         let mut inner = self.inner.write();
@@ -125,6 +139,7 @@ impl LabeledFs {
         if used.saturating_add(data.len()) > self.capacity {
             return Err(FsError::QuotaExceeded);
         }
+        ledger_access(path, data.len() as u64, &labels, true, true);
         inner.insert(path.to_string(), FileEntry { data, labels, version: 1 });
         Ok(())
     }
@@ -137,8 +152,10 @@ impl LabeledFs {
         let inner = self.inner.read();
         let f = inner.get(path).ok_or(FsError::NotFound)?;
         if !subject.may_read(&f.labels) {
+            ledger_access(path, 0, &f.labels, false, false);
             return Err(FsError::NotFound);
         }
+        ledger_access(path, f.data.len() as u64, &f.labels, false, true);
         Ok((f.data.clone(), f.labels.clone()))
     }
 
@@ -171,11 +188,13 @@ impl LabeledFs {
             return Err(FsError::NotFound);
         }
         if !subject.may_write(&f.labels) {
+            ledger_access(path, data.len() as u64, &f.labels, true, false);
             return Err(FsError::WriteDenied);
         }
         if used - f.data.len() + data.len() > self.capacity {
             return Err(FsError::QuotaExceeded);
         }
+        ledger_access(path, data.len() as u64, &f.labels, true, true);
         f.data = data;
         f.version += 1;
         Ok(())
@@ -190,8 +209,10 @@ impl LabeledFs {
             return Err(FsError::NotFound);
         }
         if !subject.may_write(&f.labels) {
+            ledger_access(path, 0, &f.labels, true, false);
             return Err(FsError::WriteDenied);
         }
+        ledger_access(path, 0, &f.labels, true, true);
         inner.remove(path);
         Ok(())
     }
@@ -321,10 +342,7 @@ mod tests {
             w.app.caps.clone(),
         );
         // It may not launder into a public file…
-        assert_eq!(
-            tainted.may_write(&LabelPair::public()),
-            false
-        );
+        assert!(!tainted.may_write(&LabelPair::public()));
         assert_eq!(
             w.fs.create(&tainted, "/public/loot.bin", LabelPair::public(), Bytes::from_static(b"x")),
             Err(FsError::WriteDenied)

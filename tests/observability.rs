@@ -1,0 +1,217 @@
+//! Cross-layer ledger integration: every W5 layer records into the one
+//! global flow ledger, and a low-clearance reader provably cannot recover
+//! per-event secret-labeled data from it (the §3.5 covert-channel defence).
+//!
+//! The global ledger is shared by every test in this binary, so all
+//! assertions are presence-based or relative — never exact global counts.
+
+use bytes::Bytes;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use w5_difc::{CapSet, Label, LabelPair, TagKind, TagRegistry};
+use w5_kernel::{Delivery, Kernel, ResourceLimits};
+use w5_net::{Method, Router};
+use w5_obs::ledger::QUANTUM;
+use w5_obs::{EventKind, Layer, LedgerView, ObsLabel};
+use w5_platform::{
+    DeclassifierRegistry, PolicyStore, StaticRelations,
+};
+use w5_platform::perimeter::Exporter;
+use w5_platform::principal::AccountStore;
+use w5_store::{LabeledFs, Subject};
+
+/// A path string that exists only inside secret-labeled events; the low
+/// view must never contain it anywhere.
+const SECRET_MARKER: &str = "/vault/observability-secret-marker";
+
+/// Drive all five layers against one registry, returning the tag ids that
+/// label the secret flows.
+fn drive_all_layers() -> Vec<u64> {
+    let registry = Arc::new(TagRegistry::new());
+    let mut secret_tags = Vec::new();
+
+    // ---- kernel (+ difc): spawn, tag, taint, a delivered and a dropped
+    // send, and a receive.
+    let kernel = Kernel::new(Arc::clone(&registry));
+    let a = kernel.create_process(
+        "obs-a",
+        LabelPair::public(),
+        CapSet::empty(),
+        ResourceLimits::unlimited(),
+    );
+    let b = kernel.create_process(
+        "obs-b",
+        LabelPair::public(),
+        CapSet::empty(),
+        ResourceLimits::unlimited(),
+    );
+    assert_eq!(
+        kernel.send(a, b, Bytes::from_static(b"public hello"), CapSet::empty()).unwrap(),
+        Delivery::Delivered
+    );
+    assert!(kernel.recv(b).unwrap().is_some());
+
+    // Taint `a` with a fresh export tag, discard its capabilities, and
+    // watch the flow rules drop the now-inadmissible send.
+    let t = kernel.create_tag(a, TagKind::ExportProtect, "export:obs-itest").unwrap();
+    secret_tags.push(t.raw());
+    kernel
+        .change_labels(a, LabelPair::new(Label::singleton(t), Label::empty()))
+        .unwrap();
+    let caps = kernel.caps(a).unwrap();
+    kernel.drop_caps(a, &caps).unwrap();
+    assert_eq!(
+        kernel.send(a, b, Bytes::from_static(b"secret payload"), CapSet::empty()).unwrap(),
+        Delivery::Dropped
+    );
+
+    // ---- store: a read-protected secret file; the owner reads it, a
+    // stranger is refused (and the refusal is itself secret-labeled).
+    let (r, r_caps) = registry.create_tag(TagKind::ReadProtect, "read:obs-itest");
+    secret_tags.push(r.raw());
+    let fs = LabeledFs::new();
+    let secret = LabelPair::new(Label::singleton(r), Label::empty());
+    let owner = Subject::new(LabelPair::public(), registry.effective(&r_caps));
+    fs.create(&owner, SECRET_MARKER, secret, Bytes::from_static(b"classified"))
+        .unwrap();
+    assert!(fs.read(&owner, SECRET_MARKER).is_ok());
+    let stranger = Subject::new(LabelPair::public(), registry.effective(&CapSet::empty()));
+    assert!(fs.read(&stranger, SECRET_MARKER).is_err());
+
+    // ---- platform (+ difc declassifiers): the export perimeter blocks a
+    // stranger viewing bob's export-protected data.
+    let accounts = AccountStore::new(Arc::clone(&registry));
+    let bob = accounts.register("obs-bob", "pw").unwrap();
+    let alice = accounts.register("obs-alice", "pw").unwrap();
+    secret_tags.push(bob.export_tag.raw());
+    let exporter = Exporter::new();
+    let policies = PolicyStore::new();
+    let declass = DeclassifierRegistry::with_builtins();
+    let rel = StaticRelations::new();
+    let bob_data = LabelPair::new(Label::singleton(bob.export_tag), Label::empty());
+    let denied = exporter.check(
+        &bob_data,
+        Some(&alice),
+        "devA/photos",
+        &accounts,
+        &policies,
+        &declass,
+        &rel,
+    );
+    assert!(!denied.allowed);
+    let allowed = exporter.check(
+        &bob_data,
+        Some(&bob),
+        "devA/photos",
+        &accounts,
+        &policies,
+        &declass,
+        &rel,
+    );
+    assert!(allowed.allowed);
+
+    // ---- net: route resolution (the public wire-facing layer).
+    let mut router: Router<&str> = Router::new();
+    router.add(Method::Get, "/app/:name", "app");
+    assert!(router.find(Method::Get, "/app/photos").is_some());
+    assert!(router.find(Method::Get, "/nowhere").is_none());
+
+    secret_tags
+}
+
+fn layers_of(view: &LedgerView) -> BTreeSet<Layer> {
+    view.events.iter().map(|e| e.kind.layer()).collect()
+}
+
+fn event_mentions_marker(kind: &EventKind) -> bool {
+    format!("{kind:?}").contains(SECRET_MARKER)
+}
+
+#[test]
+fn ledger_spans_all_layers_and_resists_low_clearance_readers() {
+    let secret_tags = drive_all_layers();
+
+    // A fully-cleared auditor sees events from every layer, including the
+    // secret store accesses verbatim.
+    let broad = ObsLabel::from_tags(1..=4096);
+    let full = w5_obs::global().view(&broad);
+    assert_eq!(
+        layers_of(&full),
+        Layer::ALL.iter().copied().collect::<BTreeSet<_>>(),
+        "the ledger must record events from all five layers"
+    );
+    assert!(
+        full.events.iter().any(|e| event_mentions_marker(&e.kind)),
+        "a cleared auditor sees the secret store path verbatim"
+    );
+    assert!(
+        full.events.iter().any(|e| {
+            matches!(e.kind, EventKind::IpcSend { delivered: false, .. })
+                && !e.secrecy.is_empty()
+        }),
+        "the dropped tainted send must appear, labeled with the sender's secrecy"
+    );
+
+    // A viewer with no clearance gets only public events...
+    let low = w5_obs::global().view(&ObsLabel::empty());
+    assert!(low.redacted, "secret events must be withheld from an empty clearance");
+    for e in &low.events {
+        assert!(e.secrecy.is_empty(), "no secret-labeled event may leak into the low view");
+        assert!(
+            !event_mentions_marker(&e.kind),
+            "the secret path must be unrecoverable at low clearance"
+        );
+        for tag in &secret_tags {
+            assert!(!e.secrecy.contains(*tag));
+        }
+    }
+    assert!(
+        low.events.len() < full.events.len(),
+        "the low view must be a strict subset of the cleared view"
+    );
+
+    // ...with sequence numbers re-issued densely, so seq gaps cannot count
+    // hidden events...
+    for (i, e) in low.events.iter().enumerate() {
+        assert_eq!(e.seq, i as u64, "redacted views must re-issue seq densely");
+    }
+
+    // ...aggregates floored to the quantum, so counters cannot be stepped
+    // one secret event at a time...
+    for v in low.aggregate.events.values().chain(low.aggregate.denied.values()) {
+        assert_eq!(v % QUANTUM, 0, "redacted aggregates must be quantized");
+    }
+
+    // ...and the export-check latency series (labeled with bob's export
+    // tag) withheld entirely.
+    assert!(
+        !low.latencies.contains_key("platform.export_check"),
+        "a secret-labeled latency series must not be visible at low clearance"
+    );
+    assert!(low.latencies_withheld >= 1);
+    let cleared = w5_obs::global().view(&broad);
+    assert!(
+        cleared.latencies.contains_key("platform.export_check"),
+        "the same series is visible once the clearance covers its label"
+    );
+}
+
+#[test]
+fn snapshot_json_roundtrips_a_clearance_gated_view() {
+    // Record a couple of public events so the snapshot is non-trivial even
+    // if this test runs first.
+    let mut router: Router<&str> = Router::new();
+    router.add(Method::Get, "/ping", "ping");
+    assert!(router.find(Method::Get, "/ping").is_some());
+
+    let clearance = ObsLabel::empty();
+    let json = w5_obs::global().snapshot_json(&clearance).unwrap();
+    let back: LedgerView = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.clearance, clearance);
+    assert!(!back.events.is_empty());
+    assert!(back.events.iter().all(|e| e.secrecy.is_empty()));
+    assert!(back
+        .events
+        .iter()
+        .any(|e| matches!(&e.kind, EventKind::RouteResolve { path, .. } if path == "/ping")));
+}

@@ -1,0 +1,220 @@
+//! Offline vendored shim for `criterion`.
+//!
+//! A minimal harness with criterion's macro/API shape: benchmarks really
+//! run and timings print as `<group>/<name> ... <mean> ns/iter (n runs)`,
+//! but there is no statistical analysis, HTML report, or baseline
+//! comparison. Enough for `cargo bench` to function offline and for the
+//! workspace's bench files to compile unchanged.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation (accepted; reported alongside the mean).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Create an id from a parameter value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// The per-benchmark timing handle.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times to smooth noise.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that runs for
+        // roughly the measurement window.
+        let mut n: u64 = 1;
+        let target = Duration::from_millis(120);
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(12) || n >= 1 << 24 {
+                // Scale up to the target window and measure once more.
+                let scale = (target.as_nanos() / took.as_nanos().max(1)).clamp(1, 1 << 12) as u64;
+                let m = (n * scale).max(1);
+                let start = Instant::now();
+                for _ in 0..m {
+                    black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+                self.iters = m;
+                return;
+            }
+            n *= 4;
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.elapsed.as_nanos() as f64 / self.iters as f64
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim sizes runs by wall-clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchId, mut routine: R) -> &mut Self {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        routine(&mut b);
+        self.report(&id.into_bench_id(), &b);
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        routine(&mut b, input);
+        self.report(&id.into_bench_id(), &b);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; parity with the real API).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let mean = b.mean_ns();
+        let extra = match self.throughput {
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:.1} MiB/s", n as f64 / mean * 1e9 / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:.1} Melem/s", n as f64 / mean * 1e3)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}  {mean:.1} ns/iter ({} iters){extra}", self.name, b.iters);
+    }
+}
+
+/// Conversion into a printable benchmark id.
+pub trait IntoBenchId {
+    /// Render the id.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _parent: self }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchId, mut routine: R) -> &mut Self {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        routine(&mut b);
+        println!("{}  {:.1} ns/iter ({} iters)", id.into_bench_id(), b.mean_ns(), b.iters);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,124 @@
+//! Offline vendored shim for `proptest`.
+//!
+//! Deterministic property-testing harness implementing the API subset
+//! this workspace uses: the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!` / `prop_oneof!` macros, the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, integer-range /
+//! tuple / `Just` / regex-subset string strategies, `any::<T>()`, and
+//! `collection::vec`.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its seed instead), and case generation is seeded deterministically from
+//! the test name so runs are reproducible. Case count defaults to 64 and
+//! is overridable via `PROPTEST_CASES`.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection`: strategies for collections.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of values from `element`, with lengths
+    /// drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// `proptest::prelude`: what tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cases = $crate::test_runner::case_count();
+            $(let $arg = $strat;)+
+            for __case in 0..__cases {
+                let __seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)), __case);
+                let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+                $(let $arg = $crate::strategy::generate_with(&$arg, &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest case {}/{} failed (seed {:#x}): {}",
+                        __case + 1, __cases, __seed, e
+                    );
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Assert within a proptest body; failure aborts only the current case
+/// with a useful message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` for proptest bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` for proptest bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Choose uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

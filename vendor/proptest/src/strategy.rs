@@ -1,0 +1,427 @@
+//! Strategies: typed random-value generators.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase for use in [`Union`] (`prop_oneof!`).
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Generate from a borrowed strategy (helper the `proptest!` macro calls;
+/// being a free generic fn lets `&&str` arguments infer `S = &str`).
+pub fn generate_with<S: Strategy>(s: &S, rng: &mut TestRng) -> S::Value {
+    s.generate(rng)
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Always the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `.prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_oneof!` adapter: uniform choice among boxed strategies.
+pub struct Union<V>(Vec<Box<dyn Strategy<Value = V>>>);
+
+impl<V> Union<V> {
+    /// Build from boxed alternatives (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union(options)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident . $n:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Size bounds for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        SizeRange { lo: r.start, hi: r.end.max(r.start + 1) }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange { lo: *r.start(), hi: r.end() + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// `collection::vec` strategy.
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `any::<T>()`: the canonical whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Sample an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        random_char(rng, true)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.gen::<f64>() * 2e9 - 1e9
+    }
+}
+
+/// A biased arbitrary char: mostly printable ASCII, some whitespace and
+/// control characters, some multi-byte Unicode — good fuzzing coverage.
+fn random_char(rng: &mut TestRng, allow_newline: bool) -> char {
+    loop {
+        let c = match rng.gen_range(0..10u32) {
+            0..=5 => char::from(rng.gen_range(0x20u8..0x7f)), // printable ASCII
+            6 => char::from(rng.gen_range(0u8..0x20)),        // control
+            7 => char::from_u32(rng.gen_range(0xa0u32..0x250)).unwrap_or('é'),
+            8 => char::from_u32(rng.gen_range(0x2190u32..0x2600)).unwrap_or('→'),
+            _ => char::from_u32(rng.gen_range(0x1f300u32..0x1f600)).unwrap_or('😀'),
+        };
+        if allow_newline || c != '\n' {
+            return c;
+        }
+    }
+}
+
+// ------------------------------------------------------- regex strategies
+
+/// String strategies from a regex subset: sequences of `[class]`, `.`, or
+/// literal atoms with `{m,n}` / `{n}` / `*` / `+` / `?` quantifiers.
+/// As in real regex syntax (and the real proptest), `.` excludes `\n`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    Class(Vec<(char, char)>), // inclusive ranges
+    Dot,
+    Literal(char),
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                // A leading ']' is a literal member; '^' negation is not
+                // supported (unused in this workspace).
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        ranges.push((lo, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                Atom::Class(ranges)
+            }
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Quantifier.
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                match close {
+                    Some(end) => {
+                        let body: String = chars[i + 1..end].iter().collect();
+                        i = end + 1;
+                        match body.split_once(',') {
+                            Some((a, b)) => {
+                                let lo = a.trim().parse().unwrap_or(0);
+                                let hi = b.trim().parse().unwrap_or(lo + 8);
+                                (lo, hi)
+                            }
+                            None => {
+                                let n = body.trim().parse().unwrap_or(1);
+                                (n, n)
+                            }
+                        }
+                    }
+                    None => (1, 1),
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, lo, hi) in parse_pattern(pat) {
+        let n = rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Dot => out.push(random_char(rng, false)),
+                Atom::Class(ranges) if ranges.is_empty() => {}
+                Atom::Class(ranges) => {
+                    let (a, b) = ranges[rng.gen_range(0..ranges.len())];
+                    let c = char::from_u32(rng.gen_range(a as u32..=b as u32)).unwrap_or(a);
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = (0u8..4, 10u64..20).generate(&mut r);
+            assert!(v.0 < 4 && (10..20).contains(&v.1));
+        }
+    }
+
+    #[test]
+    fn regex_class_respects_alphabet() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = "[a-z0-9]{1,12}".generate(&mut r);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = ".{0,64}".generate(&mut r);
+            assert!(!s.contains('\n'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_class() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = "[ -~]{0,40}".generate(&mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn union_and_map() {
+        let mut r = rng();
+        let s = crate::prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|v| v * 10)];
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!(v == 1 || v == 2 || v == 50 || v == 60, "{v}");
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut r = rng();
+        let s = crate::collection::vec(any::<u8>(), 2..5);
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Test-case driving machinery: deterministic RNG and per-case errors.
+
+use std::fmt;
+
+/// Error aborting a single generated case (raised by `prop_assert!`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed case with a message.
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError(msg)
+    }
+
+    /// Alias matching the real crate's constructor.
+    pub fn reject(msg: String) -> TestCaseError {
+        TestCaseError(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+impl From<String> for TestCaseError {
+    fn from(s: String) -> Self {
+        TestCaseError(s)
+    }
+}
+
+/// Number of cases per property: `PROPTEST_CASES` env var, default 64.
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Deterministic seed for (test path, case index): FNV-1a over the name,
+/// mixed with the case number.
+pub fn seed_for(test_path: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ case.wrapping_mul(0x9e3779b97f4a7c15)
+}
+
+/// The RNG handed to strategies (xoshiro via the vendored `rand` shim).
+pub struct TestRng(rand::StdRng);
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn from_seed(seed: u64) -> TestRng {
+        use rand::SeedableRng;
+        TestRng(rand::StdRng::seed_from_u64(seed))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -1,0 +1,569 @@
+//! Offline vendored shim for `serde`.
+//!
+//! The real serde decouples data structures from data formats through a
+//! generic data model. This workspace only ever serializes to and from
+//! JSON (via `serde_json`), so the shim collapses the model to a concrete
+//! JSON tree: [`Serialize`] renders into a [`Json`] value, [`Deserialize`]
+//! reads back out of one. The `#[derive(Serialize, Deserialize)]` macros
+//! (re-exported from `serde_derive`) generate impls against these traits,
+//! honouring the `#[serde(transparent)]` and `#[serde(default)]`
+//! attributes used in this workspace and treating newtype structs, unit
+//! enum variants and data-carrying enum variants the way serde_json
+//! represents them (externally tagged).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::num::{NonZeroU32, NonZeroU64};
+
+mod text;
+
+pub use text::{parse_json, render_json};
+
+/// A JSON value: the shim's entire data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A negative integer (always < 0; non-negative integers use `UInt`).
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Insertion-ordered; keys are unique by construction.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Borrow as an object field list, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as u64, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(u) => Some(u),
+            Json::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as i64, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::Int(i) => Some(i),
+            Json::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as f64, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Int(i) => Some(i as f64),
+            Json::UInt(u) => Some(u as f64),
+            Json::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj().and_then(|o| json_field(o, key))
+    }
+}
+
+/// Look up a field in an object's entry list (helper used by generated code).
+pub fn json_field<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X" style error.
+    pub fn expected(what: &str) -> DeError {
+        DeError(format!("expected {what}"))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str) -> DeError {
+        DeError(format!("missing field `{field}`"))
+    }
+
+    /// An enum variant name was not recognized.
+    pub fn unknown_variant(variant: &str, ty: &str) -> DeError {
+        DeError(format!("unknown variant `{variant}` for {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Json`] tree.
+pub trait Serialize {
+    /// Render into a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can be rebuilt from a [`Json`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from a JSON value.
+    fn from_json(v: &Json) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------- scalars
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool"))
+    }
+}
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                let v = *self as i64;
+                if v >= 0 { Json::UInt(v as u64) } else { Json::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                let raw = v.as_i64().ok_or_else(|| DeError::expected(stringify!($t)))?;
+                <$t>::try_from(raw).map_err(|_| DeError::expected(stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                let raw = v.as_u64().ok_or_else(|| DeError::expected(stringify!($t)))?;
+                <$t>::try_from(raw).map_err(|_| DeError::expected(stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_f64().map(|f| f as f32).ok_or_else(|| DeError::expected("number"))
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_str().map(str::to_string).ok_or_else(|| DeError::expected("string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("single-char string"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-char string")),
+        }
+    }
+}
+
+impl Serialize for NonZeroU64 {
+    fn to_json(&self) -> Json {
+        Json::UInt(self.get())
+    }
+}
+
+impl Deserialize for NonZeroU64 {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        let raw = v.as_u64().ok_or_else(|| DeError::expected("non-zero u64"))?;
+        NonZeroU64::new(raw).ok_or_else(|| DeError::expected("non-zero u64"))
+    }
+}
+
+impl Serialize for NonZeroU32 {
+    fn to_json(&self) -> Json {
+        Json::UInt(self.get() as u64)
+    }
+}
+
+impl Deserialize for NonZeroU32 {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        let raw = v.as_u64().ok_or_else(|| DeError::expected("non-zero u32"))?;
+        u32::try_from(raw).ok().and_then(NonZeroU32::new).ok_or_else(|| DeError::expected("non-zero u32"))
+    }
+}
+
+// ----------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_arr().ok_or_else(|| DeError::expected("array"))?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::from_json(v)?;
+        let got = items.len();
+        <[T; N]>::try_from(items).map_err(|_| DeError(format!("expected array of {N} elements, got {got}")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_arr().ok_or_else(|| DeError::expected("array"))?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn to_json(&self) -> Json {
+        // Deterministic output: sort the rendered elements.
+        let mut items: Vec<Json> = self.iter().map(Serialize::to_json).collect();
+        items.sort_by(|a, b| render_json(a).cmp(&render_json(b)));
+        Json::Arr(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_arr().ok_or_else(|| DeError::expected("array"))?.iter().map(T::from_json).collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$n.to_json()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                let a = v.as_arr().ok_or_else(|| DeError::expected("tuple array"))?;
+                let mut it = a.iter();
+                let out = ($({
+                    let _ = $n; // positional marker
+                    $t::from_json(it.next().ok_or_else(|| DeError::expected("tuple element"))?)?
+                },)+);
+                if it.next().is_some() {
+                    return Err(DeError::expected("tuple of exact arity"));
+                }
+                Ok(out)
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Map keys. JSON object keys must be strings; string and integer keys
+/// render the way serde_json renders them, and composite (tuple) keys are
+/// encoded as a JSON-array string so maps like
+/// `HashMap<(String, String), V>` — which the real serde_json refuses to
+/// serialize — round-trip losslessly through this shim.
+pub trait JsonKey: Sized {
+    /// Encode as an object key.
+    fn to_key(&self) -> String;
+    /// Decode from an object key.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_key_int {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError::expected(concat!(stringify!($t), " key")))
+            }
+        }
+    )*};
+}
+impl_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A, B> JsonKey for (A, B)
+where
+    A: Serialize + Deserialize,
+    B: Serialize + Deserialize,
+{
+    fn to_key(&self) -> String {
+        render_json(&Json::Arr(vec![self.0.to_json(), self.1.to_json()]))
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        let v = parse_json(s).map_err(|e| DeError(format!("bad composite key: {e}")))?;
+        Deserialize::from_json(&v)
+    }
+}
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.to_key(), v.to_json())).collect())
+    }
+}
+
+impl<K: JsonKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_obj()
+            .ok_or_else(|| DeError::expected("object"))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::from_json(val)?)))
+            .collect()
+    }
+}
+
+impl<K: JsonKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json(&self) -> Json {
+        // Deterministic output: sort by rendered key.
+        let mut entries: Vec<(String, Json)> =
+            self.iter().map(|(k, v)| (k.to_key(), v.to_json())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Obj(entries)
+    }
+}
+
+impl<K: JsonKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_obj()
+            .ok_or_else(|| DeError::expected("object"))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::from_json(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_json(&self) -> Json {
+        Json::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Null => Ok(()),
+            _ => Err(DeError::expected("null")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_json(&self) -> Json {
+        Json::Float(self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        for v in [0u64, 1, u64::MAX] {
+            let j = v.to_json();
+            assert_eq!(u64::from_json(&j).unwrap(), v);
+        }
+        assert_eq!(i64::from_json(&(-5i64).to_json()).unwrap(), -5);
+        assert!(u8::from_json(&Json::UInt(256)).is_err());
+    }
+
+    #[test]
+    fn composite_key_round_trip() {
+        let mut m: HashMap<(String, String), String> = HashMap::new();
+        m.insert(("a,\"x".into(), "b".into()), "v".into());
+        let j = m.to_json();
+        let back: HashMap<(String, String), String> = Deserialize::from_json(&j).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn option_and_array() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_json(), Json::Null);
+        let arr = [1i64, 2, 3, 4, 5];
+        let back: [i64; 5] = Deserialize::from_json(&arr.to_json()).unwrap();
+        assert_eq!(back, arr);
+    }
+}

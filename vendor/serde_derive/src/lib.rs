@@ -1,0 +1,450 @@
+//! Offline vendored shim for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored `serde`
+//! shim's JSON data model. Supports the shapes this workspace uses:
+//!
+//! - structs with named fields (objects), honouring `#[serde(default)]`
+//!   and implicit `None` for missing `Option` fields;
+//! - newtype / tuple structs (newtypes serialize as their inner value —
+//!   `#[serde(transparent)]` is accepted and means the same thing);
+//! - enums with unit, newtype, tuple and struct variants, in serde_json's
+//!   externally-tagged representation.
+//!
+//! No `syn`/`quote`: the input item is walked as raw token trees and the
+//! generated impl is assembled as source text. Generic type parameters on
+//! the deriving item are not supported (the workspace has none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    has_default: bool,
+    is_option: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named { name: String, fields: Vec<Field> },
+    Tuple { name: String, arity: usize },
+    Unit { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Does an attribute token group (the `[...]` contents) say `serde(<word>)`?
+fn attr_contains(tokens: &[TokenTree], word: &str) -> bool {
+    let mut it = tokens.iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(g)))
+            if i.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream().into_iter().any(|t| matches!(&t, TokenTree::Ident(w) if w.to_string() == word))
+        }
+        _ => false,
+    }
+}
+
+/// Consume leading attributes; report whether any was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while pos + 1 < tokens.len() {
+        match (&tokens[pos], &tokens[pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if attr_contains(&inner, "default") {
+                    has_default = true;
+                }
+                pos += 2;
+            }
+            _ => break,
+        }
+    }
+    (pos, has_default)
+}
+
+/// Consume a visibility modifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(i)) = tokens.get(pos) {
+        if i.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+/// Parse the fields of a braced (named-field) body.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (next, has_default) = skip_attrs(&tokens, pos);
+        pos = skip_vis(&tokens, next);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => break,
+        };
+        pos += 1;
+        // Expect ':'
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => break,
+        }
+        // The field type: tokens until a ',' at angle-bracket depth 0.
+        let mut depth = 0i32;
+        let mut first_type_ident = String::new();
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                TokenTree::Ident(i) if first_type_ident.is_empty() => {
+                    first_type_ident = i.to_string();
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        let is_option = first_type_ident == "Option";
+        fields.push(Field { name, has_default, is_option });
+    }
+    fields
+}
+
+/// Count the fields of a parenthesized (tuple) body.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma would over-count by one; detect it.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' {
+            count -= 1;
+        }
+    }
+    count
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, pos);
+        pos = next;
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => break,
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a discriminant (`= expr`) and the separating comma.
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    pos += 1;
+                    break;
+                }
+                _ => pos += 1,
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    // Container attributes + visibility.
+    let (next, _) = skip_attrs(&tokens, pos);
+    pos = skip_vis(&tokens, next);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("derive(Serialize/Deserialize): expected struct/enum, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("derive(Serialize/Deserialize): expected item name, got {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive shim does not support generic items ({name})");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named { name, fields: parse_named_fields(g) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple { name, arity: count_tuple_fields(g) }
+            }
+            _ => Shape::Unit { name },
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum { name, variants: parse_enum_variants(g) }
+            }
+            other => panic!("derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("derive(Serialize/Deserialize) on unsupported item kind `{other}`"),
+    }
+}
+
+/// `#[derive(Serialize)]`
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let src = match &shape {
+        Shape::Named { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_json(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json(&self) -> ::serde::Json {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Json)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Json::Obj(__fields)\n\
+                 }}\n}}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::Json {{ ::serde::Serialize::to_json(&self.0) }}\n}}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_json(&self.{i})")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json(&self) -> ::serde::Json {{ ::serde::Json::Arr(vec![{}]) }}\n}}",
+                items.join(", ")
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::Json {{ ::serde::Json::Null }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Json::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Json::Obj(vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_json(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> =
+                            binds.iter().map(|b| format!("::serde::Serialize::to_json({b})")).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Json::Obj(vec![(::std::string::String::from(\"{vn}\"), ::serde::Json::Arr(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_json({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Json::Obj(vec![(::std::string::String::from(\"{vn}\"), ::serde::Json::Obj(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json(&self) -> ::serde::Json {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    src.parse().expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+fn named_field_extractor(fields: &[Field], ctor_prefix: &str, src_obj: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let missing = if f.has_default {
+            "::std::default::Default::default()".to_string()
+        } else if f.is_option {
+            "::std::option::Option::None".to_string()
+        } else {
+            format!("return ::std::result::Result::Err(::serde::DeError::missing_field(\"{}\"))", f.name)
+        };
+        inits.push_str(&format!(
+            "{0}: match ::serde::json_field({src_obj}, \"{0}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_json(__x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            f.name
+        ));
+    }
+    format!("{ctor_prefix} {{\n{inits}}}")
+}
+
+/// `#[derive(Deserialize)]`
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let src = match &shape {
+        Shape::Named { name, fields } => {
+            let ctor = named_field_extractor(fields, name, "__obj");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json(__v: &::serde::Json) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let __obj = __v.as_obj().ok_or_else(|| ::serde::DeError::expected(\"object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({ctor})\n\
+                 }}\n}}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(__v: &::serde::Json) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             ::std::result::Result::Ok({name}(::serde::Deserialize::from_json(__v)?))\n\
+             }}\n}}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Deserialize::from_json(&__arr[{i}])?")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json(__v: &::serde::Json) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let __arr = __v.as_arr().ok_or_else(|| ::serde::DeError::expected(\"array for {name}\"))?;\n\
+                 if __arr.len() != {arity} {{ return ::std::result::Result::Err(::serde::DeError::expected(\"array of {arity} elements\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))\n\
+                 }}\n}}",
+                items.join(", ")
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(_v: &::serde::Json) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             ::std::result::Result::Ok({name})\n\
+             }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_json(__val)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json(&__arr[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __arr = __val.as_arr().ok_or_else(|| ::serde::DeError::expected(\"array for {name}::{vn}\"))?;\n\
+                             if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::expected(\"array of {n} elements\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let ctor = named_field_extractor(fields, &format!("{name}::{vn}"), "__inner");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __inner = __val.as_obj().ok_or_else(|| ::serde::DeError::expected(\"object for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({ctor})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json(__v: &::serde::Json) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Json::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                 }},\n\
+                 ::serde::Json::Obj(__o) if __o.len() == 1 => {{\n\
+                 let (__k, __val) = &__o[0];\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key object for {name}\")),\n\
+                 }}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    src.parse().expect("serde_derive shim: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,122 @@
+//! Offline vendored shim for `serde_json`.
+//!
+//! Thin facade over the vendored `serde` shim's JSON model: `to_string` /
+//! `to_vec` / `to_string_pretty` render a [`Value`] tree produced by
+//! `Serialize::to_json`, and `from_str` / `from_slice` / `from_value`
+//! parse text and rebuild via `Deserialize::from_json`.
+
+use serde::{parse_json, render_json, DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// A JSON value (re-export of the shim's data model).
+pub type Value = serde::Json;
+
+/// Serialization / deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(render_json(&value.to_json()))
+}
+
+/// Serialize to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(pretty(&value.to_json(), 0))
+}
+
+/// Serialize to a JSON byte vector.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_json())
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = parse_json(s).map_err(Error)?;
+    T::from_json(&v).map_err(Error::from)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Deserialize from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(v: Value) -> Result<T> {
+    T::from_json(&v).map_err(Error::from)
+}
+
+fn pretty(v: &Value, indent: usize) -> String {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Arr(items) if !items.is_empty() => {
+            let body: Vec<String> =
+                items.iter().map(|i| format!("{pad_in}{}", pretty(i, indent + 1))).collect();
+            format!("[\n{}\n{pad}]", body.join(",\n"))
+        }
+        Value::Obj(entries) if !entries.is_empty() => {
+            let body: Vec<String> = entries
+                .iter()
+                .map(|(k, val)| {
+                    let key = render_json(&Value::Str(k.clone()));
+                    format!("{pad_in}{key}: {}", pretty(val, indent + 1))
+                })
+                .collect();
+            format!("{{\n{}\n{pad}}}", body.join(",\n"))
+        }
+        other => render_json(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_value() {
+        let v: Value = from_str(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        let s = to_string(&v).unwrap();
+        let v2: Value = from_str(&s).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let xs = vec![1u64, 2, 3];
+        let s = to_string(&xs).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        let back: Vec<u64> = from_str(&s).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn pretty_prints() {
+        let v: Value = from_str(r#"{"a":1}"#).unwrap();
+        let p = to_string_pretty(&v).unwrap();
+        assert!(p.contains("\n  \"a\": 1\n"), "{p}");
+    }
+}
