@@ -119,6 +119,85 @@ proptest! {
     }
 }
 
+mod lattice_laws {
+    //! Labels under (∪, ∩) form a bounded distributive lattice, and
+    //! `can_flow` is exactly its partial order. Every noninterference
+    //! argument in the stack leans on these laws; here they are checked
+    //! as laws, not as examples.
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn join_and_meet_are_associative(a in arb_label(), b in arb_label(), c in arb_label()) {
+            prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+            prop_assert_eq!(
+                a.intersection(&b).intersection(&c),
+                a.intersection(&b.intersection(&c))
+            );
+        }
+
+        #[test]
+        fn meet_is_commutative_and_idempotent(a in arb_label(), b in arb_label()) {
+            prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+            prop_assert_eq!(a.intersection(&a), a.clone());
+        }
+
+        #[test]
+        fn absorption(a in arb_label(), b in arb_label()) {
+            // a ∪ (a ∩ b) = a = a ∩ (a ∪ b): join and meet are duals over
+            // one underlying order, not two unrelated operations.
+            prop_assert_eq!(a.union(&a.intersection(&b)), a.clone());
+            prop_assert_eq!(a.intersection(&a.union(&b)), a.clone());
+        }
+
+        #[test]
+        fn bounds(a in arb_label()) {
+            let bottom = Label::empty();
+            prop_assert_eq!(a.union(&bottom), a.clone());
+            prop_assert_eq!(a.intersection(&bottom), bottom);
+        }
+
+        #[test]
+        fn order_consistency(a in arb_label(), b in arb_label()) {
+            // Four statements of "a is below b" that must agree exactly:
+            // subset, join-absorption, meet-absorption, and the secrecy
+            // flow rule the kernel actually enforces.
+            let le = a.is_subset(&b);
+            prop_assert_eq!(le, a.union(&b) == b);
+            prop_assert_eq!(le, a.intersection(&b) == a);
+            prop_assert_eq!(le, can_flow(&a, &b));
+        }
+
+        #[test]
+        fn flow_is_antisymmetric(a in arb_label(), b in arb_label()) {
+            if can_flow(&a, &b) && can_flow(&b, &a) {
+                prop_assert_eq!(a, b);
+            }
+        }
+
+        #[test]
+        fn join_is_least_upper_bound(a in arb_label(), b in arb_label(), c in arb_label()) {
+            let j = a.union(&b);
+            prop_assert!(can_flow(&a, &j));
+            prop_assert!(can_flow(&b, &j));
+            // Least: any other upper bound sits above the join.
+            if can_flow(&a, &c) && can_flow(&b, &c) {
+                prop_assert!(can_flow(&j, &c));
+            }
+        }
+
+        #[test]
+        fn meet_is_greatest_lower_bound(a in arb_label(), b in arb_label(), c in arb_label()) {
+            let m = a.intersection(&b);
+            prop_assert!(can_flow(&m, &a));
+            prop_assert!(can_flow(&m, &b));
+            if can_flow(&c, &a) && can_flow(&c, &b) {
+                prop_assert!(can_flow(&c, &m));
+            }
+        }
+    }
+}
+
 mod endpoint_laws {
     use super::*;
     use w5_difc::{Endpoint, TagKind, TagRegistry};

@@ -27,7 +27,7 @@ pub mod agent;
 pub mod protocol;
 pub mod service;
 
-pub use agent::{AccountLink, SyncAgent, SyncReport};
+pub use agent::{AccountLink, SyncAgent, SyncError, SyncReport};
 pub use protocol::{ExportBatch, ExportRecord, FEDERATION_TOKEN_HEADER};
 pub use service::FederationService;
 

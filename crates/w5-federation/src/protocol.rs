@@ -46,9 +46,10 @@ pub struct ExportBatch {
 /// Lowercase hex encoding.
 pub fn hex_encode(data: &[u8]) -> String {
     let mut s = String::with_capacity(data.len() * 2);
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
     for b in data {
-        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
-        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+        s.push(DIGITS[(b >> 4) as usize] as char);
+        s.push(DIGITS[(b & 0xf) as usize] as char);
     }
     s
 }

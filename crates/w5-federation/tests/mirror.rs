@@ -63,7 +63,10 @@ fn mirror_requires_opt_in_and_converges() {
 
     // Without the grant, provider A refuses the peer.
     let err = agent_b.pull(a.server.addr(), &link).unwrap_err();
-    assert!(err.contains("403"), "{err}");
+    assert!(
+        matches!(err, w5_federation::SyncError::Refused { status: 403, .. }),
+        "{err}"
+    );
 
     // Bob opts in on A; the pull mirrors his photo to B.
     opt_in(&a.platform, bob_a.id);

@@ -36,6 +36,9 @@ pub enum KernelError {
     Quota(QuotaExceeded),
     /// A capability grant included capabilities the granter does not hold.
     GrantNotHeld,
+    /// A deterministic fault-injection site fired (`w5-chaos`). Transient:
+    /// the operation had no effect and may be retried.
+    Injected(&'static str),
 }
 
 impl fmt::Display for KernelError {
@@ -46,6 +49,7 @@ impl fmt::Display for KernelError {
             KernelError::Difc(e) => write!(f, "flow control: {e}"),
             KernelError::Quota(e) => write!(f, "resource: {e}"),
             KernelError::GrantNotHeld => write!(f, "grant includes capabilities not held"),
+            KernelError::Injected(site) => write!(f, "injected fault at {site}"),
         }
     }
 }
@@ -172,6 +176,11 @@ impl Kernel {
     /// rules: child labels must be a safe change away from the parent's,
     /// and the grant must be covered by the parent's effective caps.
     pub fn spawn(&self, parent: ProcessId, spec: SpawnSpec) -> KernelResult<ProcessId> {
+        // Fault injection happens before any state changes: a failed spawn
+        // must leave no trace of the child.
+        if w5_chaos::inject(w5_chaos::Site::KernelSpawn).is_some() {
+            return Err(KernelError::Injected(w5_chaos::Site::KernelSpawn.as_str()));
+        }
         let mut inner = self.inner.lock();
         let p = inner
             .procs
@@ -365,6 +374,11 @@ impl Kernel {
         payload: Bytes,
         grant: CapSet,
     ) -> KernelResult<()> {
+        // Transient IPC failure: injected before the flow check so neither
+        // counters nor mailboxes move — the message simply never happened.
+        if w5_chaos::inject(w5_chaos::Site::KernelSend).is_some() {
+            return Err(KernelError::Injected(w5_chaos::Site::KernelSend.as_str()));
+        }
         let mut inner = self.inner.lock();
         inner.stats.sends_checked += 1;
         let registry = Arc::clone(&self.registry);

@@ -125,6 +125,13 @@ impl Scheduler {
                 match entry.task.step(&self.kernel, entry.pid) {
                     Step::Yield { cost } => {
                         let mut cost = cost.max(1);
+                        // Preemption storm: an injected fault cuts the slice
+                        // to a single tick, as a hostile timer interrupt
+                        // would. Work is not lost — the task just reports
+                        // less progress per turn.
+                        if w5_chaos::inject(w5_chaos::Site::SchedPreempt).is_some() {
+                            cost = 1;
+                        }
                         if self.enforce {
                             // Preemption: the slice is cut off at the
                             // container's remaining budget, exactly as a

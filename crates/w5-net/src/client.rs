@@ -16,6 +16,10 @@ use std::time::Duration;
 pub struct HttpClient {
     limits: Limits,
     timeout: Duration,
+    /// Extra attempts after a transient failure (0 = fail fast).
+    retries: u32,
+    /// Base backoff between attempts; doubles per attempt, capped at 256×.
+    backoff: Duration,
 }
 
 impl Default for HttpClient {
@@ -25,14 +29,30 @@ impl Default for HttpClient {
 }
 
 impl HttpClient {
-    /// A client with default limits and a 10-second timeout.
+    /// A client with default limits, a 10-second timeout and no retries.
     pub fn new() -> HttpClient {
-        HttpClient { limits: Limits::default(), timeout: Duration::from_secs(10) }
+        HttpClient {
+            limits: Limits::default(),
+            timeout: Duration::from_secs(10),
+            retries: 0,
+            backoff: Duration::from_millis(5),
+        }
     }
 
     /// Override the IO timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> HttpClient {
         self.timeout = timeout;
+        self
+    }
+
+    /// Retry transient failures (connection drops, truncated responses) up
+    /// to `retries` extra times, sleeping `backoff × 2^attempt` between
+    /// attempts. Only [`HttpError::is_transient`] failures are retried —
+    /// and only for requests safe to replay (the one-shot helpers build
+    /// the request fresh each attempt).
+    pub fn with_retries(mut self, retries: u32, backoff: Duration) -> HttpClient {
+        self.retries = retries;
+        self.backoff = backoff;
         self
     }
 
@@ -106,10 +126,41 @@ impl HttpClient {
         )
     }
 
-    /// Send an arbitrary request on a fresh connection.
+    /// Send an arbitrary request on a fresh connection, retrying transient
+    /// failures per [`HttpClient::with_retries`].
     pub fn request(&self, addr: SocketAddr, request: &Request) -> Result<Response, HttpError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.try_request(addr, request) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_transient() && attempt < self.retries => {
+                    let delay = self.backoff.saturating_mul(1u32 << attempt.min(8));
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One attempt: connect, send, read. Chaos sites model a connection
+    /// dropped before the request leaves and a response body truncated by
+    /// a mid-read drop.
+    fn try_request(&self, addr: SocketAddr, request: &Request) -> Result<Response, HttpError> {
+        if w5_chaos::inject(w5_chaos::Site::NetConnect).is_some() {
+            return Err(HttpError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected connection drop",
+            )));
+        }
         let mut conn = self.connect(addr)?;
-        conn.request(request)
+        let resp = conn.request(request)?;
+        if w5_chaos::inject(w5_chaos::Site::NetBody).is_some() {
+            return Err(HttpError::UnexpectedEof);
+        }
+        Ok(resp)
     }
 }
 
@@ -179,5 +230,66 @@ mod tests {
         let c = HttpClient::new().with_timeout(Duration::from_millis(200));
         let err = c.get("127.0.0.1:1".parse().unwrap(), "/").unwrap_err();
         assert!(matches!(err, HttpError::Io(_)));
+    }
+
+    #[test]
+    fn injected_drop_is_retried_to_success() {
+        use crate::server::{Server, ServerConfig};
+        use crate::http::Response;
+        use std::sync::Arc;
+
+        let h = Server::start(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Arc::new(|_req: crate::http::Request, _| Response::text("pong".to_string())),
+        )
+        .unwrap();
+
+        // Find a seed whose first connect-roll fires and second does not:
+        // attempt 1 drops, the retry succeeds.
+        let seed = (0..1000)
+            .find(|&s| {
+                let inj = w5_chaos::Injector::new(
+                    w5_chaos::FaultPlan::new(s).with(w5_chaos::Site::NetConnect, 0.5),
+                );
+                inj.roll(w5_chaos::Site::NetConnect).is_some()
+                    && inj.roll(w5_chaos::Site::NetConnect).is_none()
+            })
+            .expect("some seed fails then succeeds");
+        let inj = w5_chaos::Injector::new(
+            w5_chaos::FaultPlan::new(seed).with(w5_chaos::Site::NetConnect, 0.5),
+        );
+        let _guard = w5_chaos::with_injector(Arc::clone(&inj));
+        let c = HttpClient::new().with_retries(2, Duration::from_millis(0));
+        let resp = c.get(h.addr(), "/ping").unwrap();
+        assert_eq!(resp.body_string(), "pong");
+        let report = inj.report();
+        assert_eq!(report.injected[&w5_chaos::Site::NetConnect], 1, "one drop, one retry");
+        drop(_guard);
+        h.shutdown();
+    }
+
+    #[test]
+    fn truncated_body_without_retries_fails_fast() {
+        use crate::server::{Server, ServerConfig};
+        use crate::http::Response;
+        use std::sync::Arc;
+
+        let h = Server::start(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Arc::new(|_req: crate::http::Request, _| Response::text("pong".to_string())),
+        )
+        .unwrap();
+        let inj = w5_chaos::Injector::new(
+            w5_chaos::FaultPlan::new(1).with(w5_chaos::Site::NetBody, 1.0),
+        );
+        let _guard = w5_chaos::with_injector(Arc::clone(&inj));
+        let c = HttpClient::new();
+        let err = c.get(h.addr(), "/ping").unwrap_err();
+        assert!(matches!(err, HttpError::UnexpectedEof), "{err:?}");
+        assert!(err.is_transient());
+        drop(_guard);
+        h.shutdown();
     }
 }

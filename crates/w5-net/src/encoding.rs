@@ -54,7 +54,7 @@ pub fn percent_decode(s: &str) -> String {
 }
 
 fn hex_digit(v: u8) -> char {
-    char::from_digit(v as u32, 16).unwrap().to_ascii_uppercase()
+    b"0123456789ABCDEF"[(v & 0xf) as usize] as char
 }
 
 fn hex_val(b: Option<&u8>) -> Option<u8> {

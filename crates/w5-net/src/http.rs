@@ -37,6 +37,16 @@ impl fmt::Display for HttpError {
     }
 }
 
+impl HttpError {
+    /// Failures worth retrying: the connection dropped, timed out, or the
+    /// peer vanished mid-message — the request may simply be re-sent.
+    /// Protocol violations (malformed framing, oversized messages) are
+    /// permanent and must not be retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, HttpError::Io(_) | HttpError::UnexpectedEof)
+    }
+}
+
 impl std::error::Error for HttpError {}
 
 impl From<std::io::Error> for HttpError {
@@ -355,7 +365,7 @@ impl Response {
     pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> Result<(), HttpError> {
         write!(w, "HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason())?;
         for (k, v) in &self.headers {
-            let name = k.split('#').next().unwrap();
+            let name = k.split('#').next().unwrap_or(k);
             write!(w, "{name}: {v}\r\n")?;
         }
         write!(w, "content-length: {}\r\n", self.body.len())?;

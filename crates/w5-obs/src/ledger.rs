@@ -222,6 +222,40 @@ impl Ledger {
         serde_json::to_string_pretty(&self.view(clearance))
     }
 
+    /// A stable 64-bit digest (FNV-1a) over the ledger's observable state:
+    /// total events recorded, the per-layer counters, and every retained
+    /// ring event in order. Two runs that produced the same event stream
+    /// produce the same digest; the chaos harness uses this to prove that
+    /// a fault schedule replays bit-identically from its seed.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        let mut h = FNV_OFFSET;
+        mix(&mut h, &self.events_recorded().to_le_bytes());
+        let agg = self.aggregate();
+        for (layer, count) in agg.events.iter().chain(agg.denied.iter()) {
+            mix(&mut h, layer.as_bytes());
+            mix(&mut h, &count.to_le_bytes());
+        }
+        let ring = self.ring.lock();
+        for e in ring.iter() {
+            mix(&mut h, &e.seq.to_le_bytes());
+            for tag in e.secrecy.iter() {
+                mix(&mut h, &tag.to_le_bytes());
+            }
+            // EventKind serializes to JSON with a stable field order.
+            let kind = serde_json::to_string(&e.kind).expect("event kinds always serialize");
+            mix(&mut h, kind.as_bytes());
+        }
+        h
+    }
+
     fn count(&self, kind: &EventKind) -> u64 {
         let c = &self.counters[kind.layer().index()];
         c.events.fetch_add(1, Ordering::Relaxed);

@@ -34,30 +34,73 @@ pub use label::ObsLabel;
 pub use ledger::{Aggregate, Ledger, LedgerView};
 pub use snapshot::{snapshot_json, Snapshot};
 
-use std::sync::OnceLock;
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
 
 static GLOBAL: OnceLock<Ledger> = OnceLock::new();
+
+thread_local! {
+    static SCOPED: RefCell<Vec<Arc<Ledger>>> = const { RefCell::new(Vec::new()) };
+}
 
 /// The process-wide ledger all instrumentation records into.
 pub fn global() -> &'static Ledger {
     GLOBAL.get_or_init(Ledger::new)
 }
 
-/// Record an event into the global ledger. The secrecy label must be the
-/// label of the *flow the event describes* (the data moved, the process
-/// scheduled, the response checked) — not the label of the code recording
-/// it.
+/// Redirects this thread's [`record`]/[`time`]/[`count_check`] calls into a
+/// private ledger for the guard's lifetime. Guards nest; the innermost
+/// ledger wins. The chaos harness uses this to collect a per-run event
+/// stream whose [`Ledger::digest`] is unpolluted by concurrently running
+/// tests (which write to the global ledger from their own threads).
+pub struct ScopedLedger {
+    _private: (),
+}
+
+impl Drop for ScopedLedger {
+    fn drop(&mut self) {
+        SCOPED.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Install `ledger` as this thread's recording target until the returned
+/// guard drops.
+pub fn scoped(ledger: Arc<Ledger>) -> ScopedLedger {
+    SCOPED.with(|s| s.borrow_mut().push(ledger));
+    ScopedLedger { _private: () }
+}
+
+fn current() -> Option<Arc<Ledger>> {
+    SCOPED.with(|s| s.borrow().last().cloned())
+}
+
+/// Record an event into the current ledger (this thread's scoped ledger if
+/// one is installed, the process-wide global otherwise). The secrecy label
+/// must be the label of the *flow the event describes* (the data moved,
+/// the process scheduled, the response checked) — not the label of the
+/// code recording it.
 pub fn record(secrecy: ObsLabel, kind: EventKind) {
-    global().record(secrecy, kind);
+    match current() {
+        Some(l) => l.record(secrecy, kind),
+        None => global().record(secrecy, kind),
+    }
 }
 
-/// Record a latency sample for a named operation into the global ledger.
+/// Record a latency sample for a named operation into the current ledger.
 pub fn time(op: &str, secrecy: &ObsLabel, d: std::time::Duration) {
-    global().time(op, secrecy, d);
+    match current() {
+        Some(l) => l.time(op, secrecy, d),
+        None => global().time(op, secrecy, d),
+    }
 }
 
-/// Hot-path flow-check accounting on the global ledger (see
+/// Hot-path flow-check accounting on the current ledger (see
 /// [`Ledger::count_check`]).
 pub fn count_check(op: &'static str, allowed: bool, secrecy: ObsLabel) {
-    global().count_check(op, allowed, secrecy);
+    match current() {
+        Some(l) => l.count_check(op, allowed, secrecy),
+        None => global().count_check(op, allowed, secrecy),
+    }
 }

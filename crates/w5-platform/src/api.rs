@@ -34,6 +34,9 @@ pub enum ApiError {
     /// Malformed input (bad path, bad SQL, type error). The message is the
     /// app's own fault to see.
     Bad(String),
+    /// Transient infrastructure failure (aborted write, dropped IPC,
+    /// injected fault). The operation had no effect; retrying is safe.
+    Unavailable(String),
 }
 
 impl fmt::Display for ApiError {
@@ -43,6 +46,7 @@ impl fmt::Display for ApiError {
             ApiError::Denied => write!(f, "denied"),
             ApiError::Quota => write!(f, "quota exceeded"),
             ApiError::Bad(m) => write!(f, "bad request: {m}"),
+            ApiError::Unavailable(m) => write!(f, "temporarily unavailable: {m}"),
         }
     }
 }
@@ -57,6 +61,7 @@ impl From<FsError> for ApiError {
             FsError::QuotaExceeded => ApiError::Quota,
             FsError::AlreadyExists => ApiError::Bad("already exists".into()),
             FsError::BadPath => ApiError::Bad("bad path".into()),
+            FsError::Aborted => ApiError::Unavailable("storage write aborted".into()),
         }
     }
 }
@@ -66,6 +71,7 @@ impl From<QueryError> for ApiError {
         match e {
             QueryError::WriteDenied => ApiError::Denied,
             QueryError::BudgetExhausted => ApiError::Quota,
+            QueryError::Aborted => ApiError::Unavailable("query aborted".into()),
             other => ApiError::Bad(other.to_string()),
         }
     }
@@ -76,6 +82,7 @@ impl From<KernelError> for ApiError {
         match e {
             KernelError::Quota(_) => ApiError::Quota,
             KernelError::Difc(_) => ApiError::Denied,
+            KernelError::Injected(site) => ApiError::Unavailable(format!("kernel fault at {site}")),
             _ => ApiError::Bad(e.to_string()),
         }
     }

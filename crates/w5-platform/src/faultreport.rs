@@ -25,6 +25,10 @@ pub enum FaultKind {
     QuotaExceeded,
     /// The app produced a malformed response.
     BadResponse,
+    /// The platform's own infrastructure failed underneath the app
+    /// (aborted storage commit, dropped IPC, injected chaos fault). Not
+    /// the app's fault; safe to retry.
+    Infrastructure,
 }
 
 impl FaultKind {
@@ -35,6 +39,7 @@ impl FaultKind {
             FaultKind::FlowDenied => "flow-denied",
             FaultKind::QuotaExceeded => "quota-exceeded",
             FaultKind::BadResponse => "bad-response",
+            FaultKind::Infrastructure => "infrastructure",
         }
     }
 }

@@ -146,31 +146,28 @@ impl Platform {
         let kernel = Kernel::new(Arc::clone(&registry));
         let db = Database::new();
         // Platform-owned relationship tables (the oracle reads these).
+        // Construction may run inside an armed chaos scope; ride out
+        // injected aborts the same way trusted_execute does.
         let trusted = Subject::anonymous();
-        db.execute(
-            &trusted,
-            QueryMode::Filtered,
-            QueryCost::unlimited(),
-            &LabelPair::public(),
-            "CREATE TABLE w5_friends (owner TEXT, friend TEXT)",
-        )
-        .expect("create friends table");
-        db.execute(
-            &trusted,
-            QueryMode::Filtered,
-            QueryCost::unlimited(),
-            &LabelPair::public(),
-            "CREATE TABLE w5_groups (owner TEXT, grp TEXT, member TEXT)",
-        )
-        .expect("create groups table");
-        db.execute(
-            &trusted,
-            QueryMode::Filtered,
-            QueryCost::unlimited(),
-            &LabelPair::public(),
-            "CREATE TABLE w5_mail (app TEXT, body TEXT, seq INTEGER)",
-        )
-        .expect("create mail table");
+        let create = |sql: &str| {
+            for _ in 0..16 {
+                match db.execute(
+                    &trusted,
+                    QueryMode::Filtered,
+                    QueryCost::unlimited(),
+                    &LabelPair::public(),
+                    sql,
+                ) {
+                    Ok(_) => return,
+                    Err(w5_store::QueryError::Aborted) => continue,
+                    Err(e) => panic!("create platform table: {e}"),
+                }
+            }
+            panic!("create platform table: persistent injected abort");
+        };
+        create("CREATE TABLE w5_friends (owner TEXT, friend TEXT)");
+        create("CREATE TABLE w5_groups (owner TEXT, grp TEXT, member TEXT)");
+        create("CREATE TABLE w5_mail (app TEXT, body TEXT, seq INTEGER)");
 
         Arc::new(Platform {
             name: name.to_string(),
@@ -224,38 +221,45 @@ impl Platform {
         PlatformOracle { db: &self.db }
     }
 
-    /// Record a friendship (platform UI path; the social app also writes
-    /// these rows through its own API).
-    pub fn add_friend(&self, owner: &str, friend: &str) {
+    /// Execute a trusted platform statement, riding out transient injected
+    /// aborts (`w5-chaos`). Retries are bounded; a statement that still
+    /// fails is dropped on the floor rather than panicking the provider —
+    /// degraded state, never a crash.
+    fn trusted_execute(&self, sql: &str) {
         let trusted = Subject::anonymous();
-        self.db
-            .execute(
+        for _ in 0..16 {
+            match self.db.execute(
                 &trusted,
                 QueryMode::Filtered,
                 QueryCost::unlimited(),
                 &LabelPair::public(),
-                &format!("INSERT INTO w5_friends (owner, friend) VALUES ('{}', '{}')", sql_escape(owner), sql_escape(friend)),
-            )
-            .expect("insert friend row");
+                sql,
+            ) {
+                Ok(_) => return,
+                Err(w5_store::QueryError::Aborted) => continue,
+                Err(e) => panic!("trusted platform statement failed: {e}"),
+            }
+        }
+    }
+
+    /// Record a friendship (platform UI path; the social app also writes
+    /// these rows through its own API).
+    pub fn add_friend(&self, owner: &str, friend: &str) {
+        self.trusted_execute(&format!(
+            "INSERT INTO w5_friends (owner, friend) VALUES ('{}', '{}')",
+            sql_escape(owner),
+            sql_escape(friend)
+        ));
     }
 
     /// Record group membership.
     pub fn add_group_member(&self, owner: &str, group: &str, member: &str) {
-        let trusted = Subject::anonymous();
-        self.db
-            .execute(
-                &trusted,
-                QueryMode::Filtered,
-                QueryCost::unlimited(),
-                &LabelPair::public(),
-                &format!(
-                    "INSERT INTO w5_groups (owner, grp, member) VALUES ('{}', '{}', '{}')",
-                    sql_escape(owner),
-                    sql_escape(group),
-                    sql_escape(member)
-                ),
-            )
-            .expect("insert group row");
+        self.trusted_execute(&format!(
+            "INSERT INTO w5_groups (owner, grp, member) VALUES ('{}', '{}', '{}')",
+            sql_escape(owner),
+            sql_escape(group),
+            sql_escape(member)
+        ));
     }
 
     /// Launch an application instance and run one request through it —
@@ -366,6 +370,7 @@ impl Platform {
                 let kind = match e {
                     crate::api::ApiError::Quota => FaultKind::QuotaExceeded,
                     crate::api::ApiError::Denied => FaultKind::FlowDenied,
+                    crate::api::ApiError::Unavailable(_) => FaultKind::Infrastructure,
                     _ => FaultKind::BadResponse,
                 };
                 let report = build_report(app_key, kind, &labels, &e.to_string());
@@ -375,6 +380,7 @@ impl Platform {
                     crate::api::ApiError::Denied => 403,
                     crate::api::ApiError::Quota => 429,
                     crate::api::ApiError::Bad(_) => 400,
+                    crate::api::ApiError::Unavailable(_) => 503,
                 };
                 let mut r = error_result(status, &e.to_string());
                 r.fault = Some(report);

@@ -18,12 +18,14 @@
 //!
 //! Everything is seeded and deterministic.
 
+pub mod chaos;
 pub mod depgraph;
 pub mod population;
 pub mod socialgraph;
 pub mod table;
 pub mod workload;
 
+pub use chaos::{run_chaos, ChaosOutcome, ChaosSpec};
 pub use w5_obs::{histogram, Histogram};
 pub use population::{build_population, PopulationConfig, World};
 pub use table::Table;

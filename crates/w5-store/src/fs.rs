@@ -49,6 +49,10 @@ pub enum FsError {
     BadPath,
     /// The per-owner disk quota is exhausted.
     QuotaExceeded,
+    /// The write was aborted by an injected fault (`w5-chaos`) before it
+    /// committed. Atomicity guarantee: the previous contents, labels and
+    /// version of the file are fully intact.
+    Aborted,
 }
 
 impl fmt::Display for FsError {
@@ -59,6 +63,7 @@ impl fmt::Display for FsError {
             FsError::WriteDenied => "write denied by label policy",
             FsError::BadPath => "invalid path",
             FsError::QuotaExceeded => "disk quota exceeded",
+            FsError::Aborted => "write aborted before commit",
         };
         f.write_str(s)
     }
@@ -139,6 +144,11 @@ impl LabeledFs {
         if used.saturating_add(data.len()) > self.capacity {
             return Err(FsError::QuotaExceeded);
         }
+        // Last fault point before commit: an aborted create leaves no file
+        // behind (all-or-nothing — there is no partially created entry).
+        if w5_chaos::inject(w5_chaos::Site::FsWrite).is_some() {
+            return Err(FsError::Aborted);
+        }
         ledger_access(path, data.len() as u64, &labels, true, true);
         inner.insert(path.to_string(), FileEntry { data, labels, version: 1 });
         Ok(())
@@ -193,6 +203,13 @@ impl LabeledFs {
         }
         if used - f.data.len() + data.len() > self.capacity {
             return Err(FsError::QuotaExceeded);
+        }
+        // Overwrites are staged-then-committed: every check has passed, and
+        // the swap below is the single atomic commit point. An injected
+        // fault here models a torn write — the old data, labels and version
+        // must survive untouched.
+        if w5_chaos::inject(w5_chaos::Site::FsWrite).is_some() {
+            return Err(FsError::Aborted);
         }
         ledger_access(path, data.len() as u64, &f.labels, true, true);
         f.data = data;

@@ -59,6 +59,9 @@ pub enum QueryError {
     Eval(String),
     /// The table already exists.
     TableExists(String),
+    /// The statement was aborted by an injected fault (`w5-chaos`) before
+    /// it executed. No rows were read or written.
+    Aborted,
 }
 
 impl fmt::Display for QueryError {
@@ -74,6 +77,7 @@ impl fmt::Display for QueryError {
             QueryError::BudgetExhausted => write!(f, "query exceeded its scan budget"),
             QueryError::Eval(m) => write!(f, "evaluation error: {m}"),
             QueryError::TableExists(t) => write!(f, "table already exists: {t}"),
+            QueryError::Aborted => write!(f, "query aborted before execution"),
         }
     }
 }
@@ -172,6 +176,11 @@ impl Database {
         insert_labels: &LabelPair,
         stmt: Statement,
     ) -> Result<QueryOutput, QueryError> {
+        // Statements execute all-or-nothing: an injected abort fires before
+        // any row is visited, so there is never a half-applied write.
+        if w5_chaos::inject(w5_chaos::Site::SqlQuery).is_some() {
+            return Err(QueryError::Aborted);
+        }
         match stmt {
             Statement::CreateTable { name, columns } => self.create_table(&name, columns),
             Statement::DropTable { name } => self.drop_table(subject, &name),
