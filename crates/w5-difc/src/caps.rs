@@ -6,10 +6,17 @@
 //! halves is called *owning* the tag — the owner can move data tagged `t`
 //! across any boundary, which in W5 is exactly the privilege users delegate
 //! to declassifiers (paper §3.1).
+//!
+//! A [`CapSet`] keeps each sign as a sorted, deduplicated `Vec<Tag>`:
+//! membership is a binary search, and `union` / `extend` / `is_subset` are
+//! single-pass merges over the sorted runs — no per-operation `BTreeSet`
+//! rebuilds, no per-node allocation. Capability sets sit on the kernel's
+//! send/spawn path (the registry's effective-bag computation is a `union`),
+//! so this is hot-path algebra, not bookkeeping.
 
 use crate::label::Label;
 use crate::tag::Tag;
-use std::collections::BTreeSet;
+use serde::{DeError, Json};
 use std::fmt;
 
 /// Which half of a tag's capability pair.
@@ -51,12 +58,97 @@ impl fmt::Debug for Capability {
     }
 }
 
+/// Insert into a sorted, deduplicated vec. Returns true if newly added.
+fn sorted_insert(v: &mut Vec<Tag>, tag: Tag) -> bool {
+    match v.binary_search(&tag) {
+        Ok(_) => false,
+        Err(ix) => {
+            v.insert(ix, tag);
+            true
+        }
+    }
+}
+
+/// Remove from a sorted vec. Returns true if it was present.
+fn sorted_remove(v: &mut Vec<Tag>, tag: Tag) -> bool {
+    match v.binary_search(&tag) {
+        Ok(ix) => {
+            v.remove(ix);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Single-pass merge union of two sorted, deduplicated runs.
+fn merge_union(a: &[Tag], b: &[Tag]) -> Vec<Tag> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// `a ⊆ b` over sorted, deduplicated runs, single pass.
+fn sorted_subset(a: &[Tag], b: &[Tag]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut j = 0;
+    'outer: for &t in a {
+        while j < b.len() {
+            match b[j].cmp(&t) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Canonicalize an arbitrary tag list into a sorted, deduplicated vec.
+fn canonicalize(mut v: Vec<Tag>) -> Vec<Tag> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
 /// A set of capabilities — a process's private bag `D`, or a grant bundle
 /// handed to a declassifier.
-#[derive(Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct CapSet {
-    plus: BTreeSet<Tag>,
-    minus: BTreeSet<Tag>,
+    /// Tags held with `t+`; sorted and deduplicated.
+    plus: Vec<Tag>,
+    /// Tags held with `t-`; sorted and deduplicated.
+    minus: Vec<Tag>,
 }
 
 impl CapSet {
@@ -67,43 +159,47 @@ impl CapSet {
 
     /// Build from an iterator of capabilities.
     pub fn from_caps<I: IntoIterator<Item = Capability>>(caps: I) -> CapSet {
-        let mut s = CapSet::empty();
+        let mut plus = Vec::new();
+        let mut minus = Vec::new();
         for c in caps {
-            s.insert(c);
+            match c.privilege {
+                Privilege::Plus => plus.push(c.tag),
+                Privilege::Minus => minus.push(c.tag),
+            }
         }
-        s
+        CapSet { plus: canonicalize(plus), minus: canonicalize(minus) }
     }
 
     /// Insert one capability. Returns true if it was newly added.
     pub fn insert(&mut self, cap: Capability) -> bool {
         match cap.privilege {
-            Privilege::Plus => self.plus.insert(cap.tag),
-            Privilege::Minus => self.minus.insert(cap.tag),
+            Privilege::Plus => sorted_insert(&mut self.plus, cap.tag),
+            Privilege::Minus => sorted_insert(&mut self.minus, cap.tag),
         }
     }
 
     /// Remove one capability. Returns true if it was present.
     pub fn remove(&mut self, cap: Capability) -> bool {
         match cap.privilege {
-            Privilege::Plus => self.plus.remove(&cap.tag),
-            Privilege::Minus => self.minus.remove(&cap.tag),
+            Privilege::Plus => sorted_remove(&mut self.plus, cap.tag),
+            Privilege::Minus => sorted_remove(&mut self.minus, cap.tag),
         }
     }
 
     /// Grant full ownership (`t+` and `t-`) of a tag.
     pub fn insert_ownership(&mut self, tag: Tag) {
-        self.plus.insert(tag);
-        self.minus.insert(tag);
+        sorted_insert(&mut self.plus, tag);
+        sorted_insert(&mut self.minus, tag);
     }
 
     /// Does the set contain `t+` for this tag?
     pub fn has_plus(&self, tag: Tag) -> bool {
-        self.plus.contains(&tag)
+        self.plus.binary_search(&tag).is_ok()
     }
 
     /// Does the set contain `t-` for this tag?
     pub fn has_minus(&self, tag: Tag) -> bool {
-        self.minus.contains(&tag)
+        self.minus.binary_search(&tag).is_ok()
     }
 
     /// Does the set contain both halves?
@@ -121,31 +217,44 @@ impl CapSet {
 
     /// All tags with a `t+` here, as a label (used in flow adjustments).
     pub fn plus_label(&self) -> Label {
-        Label::from_iter(self.plus.iter().copied())
+        Label::from_sorted_vec(self.plus.clone())
     }
 
     /// All tags with a `t-` here, as a label.
     pub fn minus_label(&self) -> Label {
-        Label::from_iter(self.minus.iter().copied())
+        Label::from_sorted_vec(self.minus.clone())
     }
 
-    /// Union with another capability set.
+    /// Union with another capability set (single-pass sorted merge).
     pub fn union(&self, other: &CapSet) -> CapSet {
+        if other.is_empty() {
+            return self.clone();
+        }
+        if self.is_empty() {
+            return other.clone();
+        }
         CapSet {
-            plus: self.plus.union(&other.plus).copied().collect(),
-            minus: self.minus.union(&other.minus).copied().collect(),
+            plus: merge_union(&self.plus, &other.plus),
+            minus: merge_union(&self.minus, &other.minus),
         }
     }
 
     /// Merge another capability set into this one in place.
     pub fn extend(&mut self, other: &CapSet) {
-        self.plus.extend(other.plus.iter().copied());
-        self.minus.extend(other.minus.iter().copied());
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        self.plus = merge_union(&self.plus, &other.plus);
+        self.minus = merge_union(&self.minus, &other.minus);
     }
 
     /// `self ⊆ other` as capability sets.
     pub fn is_subset(&self, other: &CapSet) -> bool {
-        self.plus.is_subset(&other.plus) && self.minus.is_subset(&other.minus)
+        sorted_subset(&self.plus, &other.plus) && sorted_subset(&self.minus, &other.minus)
     }
 
     /// Number of capabilities held.
@@ -183,6 +292,31 @@ impl fmt::Debug for CapSet {
 impl FromIterator<Capability> for CapSet {
     fn from_iter<I: IntoIterator<Item = Capability>>(iter: I) -> CapSet {
         CapSet::from_caps(iter)
+    }
+}
+
+// Manual serde: the wire shape is identical to the old derived
+// `BTreeSet`-backed struct (`{"plus": [...], "minus": [...]}` with sorted
+// arrays), and deserialization re-canonicalizes so a permuted or
+// duplicated input cannot smuggle in a non-canonical set.
+impl serde::Serialize for CapSet {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("plus".to_string(), self.plus.to_json()),
+            ("minus".to_string(), self.minus.to_json()),
+        ])
+    }
+}
+
+impl serde::Deserialize for CapSet {
+    fn from_json(v: &Json) -> Result<CapSet, DeError> {
+        let plus: Vec<Tag> = serde::Deserialize::from_json(
+            v.get("plus").ok_or_else(|| DeError::missing_field("plus"))?,
+        )?;
+        let minus: Vec<Tag> = serde::Deserialize::from_json(
+            v.get("minus").ok_or_else(|| DeError::missing_field("minus"))?,
+        )?;
+        Ok(CapSet { plus: canonicalize(plus), minus: canonicalize(minus) })
     }
 }
 
@@ -229,6 +363,31 @@ mod tests {
     }
 
     #[test]
+    fn union_merges_overlapping_runs() {
+        let tags: Vec<Tag> = (1..=9).map(Tag::from_raw).collect();
+        let a = CapSet::from_caps(tags.iter().step_by(2).map(|&t| Capability::plus(t)));
+        let b = CapSet::from_caps(tags.iter().skip(2).map(|&t| Capability::plus(t)));
+        let u = a.union(&b);
+        assert_eq!(u.len(), 9 - 1, "1,3,5,7,9 ∪ 3..=9");
+        for &t in tags.iter().filter(|t| t.raw() != 2) {
+            assert!(u.has_plus(t));
+        }
+        assert!(!u.has_plus(Tag::from_raw(2)));
+        let mut c = a.clone();
+        c.extend(&b);
+        assert_eq!(c, u, "extend agrees with union");
+    }
+
+    #[test]
+    fn subset_mid_run_miss() {
+        let a = CapSet::from_caps([Capability::plus(Tag::from_raw(2))]);
+        let b = CapSet::from_caps([Capability::plus(Tag::from_raw(1)), Capability::plus(Tag::from_raw(3))]);
+        assert!(!a.is_subset(&b));
+        assert!(CapSet::empty().is_subset(&a));
+        assert!(a.is_subset(&a));
+    }
+
+    #[test]
     fn plus_minus_labels() {
         let t1 = Tag::from_raw(1);
         let t2 = Tag::from_raw(2);
@@ -252,5 +411,20 @@ mod tests {
         let t = Tag::from_raw(4);
         let s = CapSet::from_caps([Capability::plus(t)]);
         assert_eq!(format!("{s:?}"), "O{t4+}");
+    }
+
+    #[test]
+    fn serde_normalizes_unsorted_input() {
+        let t1 = Tag::from_raw(1);
+        let t2 = Tag::from_raw(2);
+        let s = CapSet::from_caps([Capability::plus(t2), Capability::plus(t1)]);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, r#"{"plus":[1,2],"minus":[]}"#);
+        let back: CapSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // Unsorted / duplicated wire input canonicalizes on decode.
+        let messy: CapSet = serde_json::from_str(r#"{"plus":[2,1,2],"minus":[5,5]}"#).unwrap();
+        assert_eq!(messy.len(), 3);
+        assert!(messy.has_plus(t1) && messy.has_plus(t2) && messy.has_minus(Tag::from_raw(5)));
     }
 }

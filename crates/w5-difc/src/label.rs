@@ -2,33 +2,99 @@
 //!
 //! Labels are the hot data structure of the whole platform — every IPC send,
 //! file access and database row visit performs label comparisons — so the
-//! representation is a sorted, deduplicated `Vec<Tag>`:
+//! representation is tuned for the traffic we actually see:
 //!
-//! * subset / equality checks are linear merges with no allocation,
-//! * union / intersection / difference are single-pass merges,
-//! * the common cases (empty label, singleton `{e_u}`) stay tiny.
+//! * **Inline small labels.** `{}` (public data) and `{e_u}` (one user's
+//!   secret) dominate real traffic, with `{e_u, e_v}` mashups a distant
+//!   third. Labels of 0–2 tags are stored inline in the `Label` value with
+//!   no heap allocation at all; only larger sets spill to a `Vec<Tag>`.
+//!   Cloning a small label is a `memcpy`.
+//! * Subset / equality checks are linear merges with no allocation.
+//! * Union / intersection / difference are single-pass merges that build
+//!   inline when the result fits.
+//! * Repeated labels can be *interned* (see [`crate::intern`]) down to a
+//!   `u32` id, making equality an integer compare and memoizing subset
+//!   results globally.
 //!
 //! Labels are immutable in spirit: all operations return new labels, which
 //! keeps sharing across threads trivial.
 
 use crate::tag::Tag;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
-/// A set of [`Tag`]s. Invariant: the backing vector is sorted and contains
-/// no duplicates.
-#[derive(Clone, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
-pub struct Label(Vec<Tag>);
+/// Tags stored inline before spilling to the heap. `{}` and `{e_u}` are the
+/// overwhelmingly common labels; two slots also covers pairwise mashups.
+const INLINE_CAP: usize = 2;
 
-impl Label {
-    /// The empty label (public data / no integrity claims).
-    pub fn empty() -> Label {
-        Label(Vec::new())
+/// Padding value for unused inline slots (never observable: `as_slice`
+/// truncates to `len`).
+fn pad() -> Tag {
+    Tag::from_raw(u64::MAX)
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// 0–2 tags stored without heap allocation. Slots `>= len` hold an
+    /// arbitrary pad value.
+    Inline { len: u8, tags: [Tag; INLINE_CAP] },
+    /// 3+ tags, sorted and deduplicated.
+    Heap(Vec<Tag>),
+}
+
+/// A set of [`Tag`]s. Invariant: the backing storage is sorted, contains no
+/// duplicates, and uses the inline representation iff it holds
+/// `<= INLINE_CAP` tags (so representation is canonical per tag set).
+#[derive(Clone)]
+pub struct Label(Repr);
+
+/// Builds a label from ascending pushes, staying inline while the result
+/// fits. Spills to a heap vector on overflow.
+struct LabelBuf(Repr);
+
+impl LabelBuf {
+    fn new() -> LabelBuf {
+        LabelBuf(Repr::Inline { len: 0, tags: [pad(); INLINE_CAP] })
     }
 
-    /// A label containing a single tag.
+    /// Push a tag strictly greater than every tag pushed so far.
+    fn push(&mut self, t: Tag) {
+        match &mut self.0 {
+            Repr::Inline { len, tags } => {
+                if (*len as usize) < INLINE_CAP {
+                    tags[*len as usize] = t;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_CAP * 2);
+                    v.extend_from_slice(&tags[..]);
+                    v.push(t);
+                    self.0 = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => v.push(t),
+        }
+    }
+
+    fn extend_from_slice(&mut self, ts: &[Tag]) {
+        for &t in ts {
+            self.push(t);
+        }
+    }
+
+    fn into_label(self) -> Label {
+        Label(self.0)
+    }
+}
+
+impl Label {
+    /// The empty label (public data / no integrity claims). Never allocates.
+    pub fn empty() -> Label {
+        Label(Repr::Inline { len: 0, tags: [pad(); INLINE_CAP] })
+    }
+
+    /// A label containing a single tag. Never allocates.
     pub fn singleton(tag: Tag) -> Label {
-        Label(vec![tag])
+        Label(Repr::Inline { len: 1, tags: [tag, pad()] })
     }
 
     /// Build from an unsorted, possibly duplicated tag collection.
@@ -39,48 +105,71 @@ impl Label {
         let mut v: Vec<Tag> = tags.into_iter().collect();
         v.sort_unstable();
         v.dedup();
-        Label(v)
+        Label::from_canonical_vec(v)
     }
 
     /// Build from a vector that the caller guarantees is sorted and
     /// deduplicated. Checked in debug builds.
     pub fn from_sorted_vec(v: Vec<Tag>) -> Label {
         debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "label vec not strictly sorted");
-        Label(v)
+        Label::from_canonical_vec(v)
+    }
+
+    /// Normalize a sorted, deduplicated vector into the canonical repr.
+    fn from_canonical_vec(v: Vec<Tag>) -> Label {
+        if v.len() <= INLINE_CAP {
+            let mut tags = [pad(); INLINE_CAP];
+            tags[..v.len()].copy_from_slice(&v);
+            Label(Repr::Inline { len: v.len() as u8, tags })
+        } else {
+            Label(Repr::Heap(v))
+        }
+    }
+
+    /// True if the label is stored inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
     }
 
     /// Number of tags in the label.
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
     }
 
     /// True if the label contains no tags.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
     /// Membership test (binary search).
     pub fn contains(&self, tag: Tag) -> bool {
-        self.0.binary_search(&tag).is_ok()
+        self.as_slice().binary_search(&tag).is_ok()
     }
 
     /// Iterate tags in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = Tag> + '_ {
-        self.0.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// The underlying sorted slice.
     pub fn as_slice(&self) -> &[Tag] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, tags } => &tags[..*len as usize],
+            Repr::Heap(v) => v,
+        }
     }
 
     /// `self ⊆ other`, by linear merge (O(|self| + |other|)).
     pub fn is_subset(&self, other: &Label) -> bool {
-        if self.0.len() > other.0.len() {
+        let (a, b) = (self.as_slice(), other.as_slice());
+        if a.len() > b.len() {
             return false;
         }
-        let mut oi = other.0.iter();
-        'outer: for t in &self.0 {
+        let mut oi = b.iter();
+        'outer: for t in a {
             for o in oi.by_ref() {
                 match o.cmp(t) {
                     std::cmp::Ordering::Less => continue,
@@ -95,60 +184,70 @@ impl Label {
 
     /// `self ∪ other`.
     pub fn union(&self, other: &Label) -> Label {
-        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (a, b) = (self.as_slice(), other.as_slice());
+        // Subset fast paths keep the common `x ∪ {} `/`x ∪ x` case clone-only.
+        if b.is_empty() {
+            return self.clone();
+        }
+        if a.is_empty() {
+            return other.clone();
+        }
+        let mut out = LabelBuf::new();
         let (mut i, mut j) = (0, 0);
-        while i < self.0.len() && j < other.0.len() {
-            match self.0[i].cmp(&other.0[j]) {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => {
-                    out.push(self.0[i]);
+                    out.push(a[i]);
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    out.push(other.0[j]);
+                    out.push(b[j]);
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    out.push(self.0[i]);
+                    out.push(a[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        out.extend_from_slice(&self.0[i..]);
-        out.extend_from_slice(&other.0[j..]);
-        Label(out)
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        out.into_label()
     }
 
     /// `self ∩ other`.
     pub fn intersection(&self, other: &Label) -> Label {
-        let mut out = Vec::with_capacity(self.0.len().min(other.0.len()));
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut out = LabelBuf::new();
         let (mut i, mut j) = (0, 0);
-        while i < self.0.len() && j < other.0.len() {
-            match self.0[i].cmp(&other.0[j]) {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    out.push(self.0[i]);
+                    out.push(a[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        Label(out)
+        out.into_label()
     }
 
     /// `self − other`.
     pub fn difference(&self, other: &Label) -> Label {
-        let mut out = Vec::with_capacity(self.0.len());
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut out = LabelBuf::new();
         let (mut i, mut j) = (0, 0);
-        while i < self.0.len() {
-            if j >= other.0.len() {
-                out.extend_from_slice(&self.0[i..]);
+        while i < a.len() {
+            if j >= b.len() {
+                out.extend_from_slice(&a[i..]);
                 break;
             }
-            match self.0[i].cmp(&other.0[j]) {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => {
-                    out.push(self.0[i]);
+                    out.push(a[i]);
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => j += 1,
@@ -158,28 +257,33 @@ impl Label {
                 }
             }
         }
-        Label(out)
+        out.into_label()
     }
 
     /// A copy of `self` with `tag` inserted.
     pub fn with(&self, tag: Tag) -> Label {
-        match self.0.binary_search(&tag) {
+        let a = self.as_slice();
+        match a.binary_search(&tag) {
             Ok(_) => self.clone(),
             Err(pos) => {
-                let mut v = self.0.clone();
-                v.insert(pos, tag);
-                Label(v)
+                let mut out = LabelBuf::new();
+                out.extend_from_slice(&a[..pos]);
+                out.push(tag);
+                out.extend_from_slice(&a[pos..]);
+                out.into_label()
             }
         }
     }
 
     /// A copy of `self` with `tag` removed.
     pub fn without(&self, tag: Tag) -> Label {
-        match self.0.binary_search(&tag) {
+        let a = self.as_slice();
+        match a.binary_search(&tag) {
             Ok(pos) => {
-                let mut v = self.0.clone();
-                v.remove(pos);
-                Label(v)
+                let mut out = LabelBuf::new();
+                out.extend_from_slice(&a[..pos]);
+                out.extend_from_slice(&a[pos + 1..]);
+                out.into_label()
             }
             Err(_) => self.clone(),
         }
@@ -187,15 +291,26 @@ impl Label {
 
     /// The ledger-side image of this label: raw sorted tag ids. Lossless
     /// for clearance purposes (subset tests commute with the conversion).
+    ///
+    /// Goes through the intern table so the conversion is computed once per
+    /// distinct tag set and afterwards costs a cache lookup plus an
+    /// allocation-free `ObsLabel` clone for small labels.
     pub fn to_obs(&self) -> w5_obs::ObsLabel {
-        w5_obs::ObsLabel::from_sorted(self.0.iter().map(|t| t.raw()).collect())
+        crate::intern::intern(self).to_obs()
+    }
+
+    /// The ledger-side image, computed directly without touching the intern
+    /// table (used by the interner itself and by one-shot conversions).
+    pub fn to_obs_uncached(&self) -> w5_obs::ObsLabel {
+        w5_obs::ObsLabel::from_sorted(self.iter().map(|t| t.raw()).collect())
     }
 
     /// True if the labels share no tags.
     pub fn is_disjoint(&self, other: &Label) -> bool {
+        let (a, b) = (self.as_slice(), other.as_slice());
         let (mut i, mut j) = (0, 0);
-        while i < self.0.len() && j < other.0.len() {
-            match self.0[i].cmp(&other.0[j]) {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => return false,
@@ -205,10 +320,46 @@ impl Label {
     }
 }
 
+impl Default for Label {
+    fn default() -> Label {
+        Label::empty()
+    }
+}
+
+// Equality/hashing are over the logical tag set. The repr is canonical per
+// set (inline iff small), but comparing slices keeps that invariant
+// non-load-bearing for correctness.
+impl PartialEq for Label {
+    fn eq(&self, other: &Label) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Label {}
+
+impl Hash for Label {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl serde::Serialize for Label {
+    fn to_json(&self) -> serde::Json {
+        serde::Json::Arr(self.iter().map(|t| serde::Serialize::to_json(&t)).collect())
+    }
+}
+
+impl serde::Deserialize for Label {
+    fn from_json(v: &serde::Json) -> Result<Label, serde::DeError> {
+        let tags: Vec<Tag> = serde::Deserialize::from_json(v)?;
+        Ok(Label::from_iter(tags))
+    }
+}
+
 impl fmt::Debug for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, t) in self.0.iter().enumerate() {
+        for (i, t) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -228,7 +379,7 @@ impl<'a> IntoIterator for &'a Label {
     type Item = Tag;
     type IntoIter = std::iter::Copied<std::slice::Iter<'a, Tag>>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter().copied()
+        self.as_slice().iter().copied()
     }
 }
 
@@ -244,6 +395,24 @@ mod tests {
     fn from_iter_sorts_and_dedups() {
         let a = l(&[3, 1, 2, 3, 1]);
         assert_eq!(a.as_slice(), &[Tag::from_raw(1), Tag::from_raw(2), Tag::from_raw(3)]);
+    }
+
+    #[test]
+    fn small_labels_stay_inline() {
+        assert!(l(&[]).is_inline());
+        assert!(l(&[1]).is_inline());
+        assert!(l(&[1, 2]).is_inline());
+        assert!(!l(&[1, 2, 3]).is_inline());
+        // Operations that shrink a heap label back under the cap produce
+        // inline results (canonical repr).
+        let big = l(&[1, 2, 3, 4]);
+        assert!(big.intersection(&l(&[2, 3])).is_inline());
+        assert!(big.difference(&l(&[1, 2, 3])).is_inline());
+        assert!(big.without(Tag::from_raw(1)).len() == 3);
+        // Union that overflows the inline cap spills correctly.
+        let u = l(&[1, 2]).union(&l(&[3]));
+        assert_eq!(u, l(&[1, 2, 3]));
+        assert!(!u.is_inline());
     }
 
     #[test]
@@ -294,5 +463,29 @@ mod tests {
     fn debug_format() {
         assert_eq!(format!("{:?}", l(&[1, 2])), "{t1,t2}");
         assert_eq!(format!("{:?}", l(&[])), "{}");
+    }
+
+    #[test]
+    fn eq_and_hash_span_reprs() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = l(&[5, 9]);
+        let b = Label::from_sorted_vec(vec![Tag::from_raw(5), Tag::from_raw(9)]);
+        assert_eq!(a, b);
+        let hash = |x: &Label| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn serde_roundtrip_is_a_plain_array() {
+        let a = l(&[3, 7, 11]);
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(json, "[3,7,11]");
+        let back: Label = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(serde_json::to_string(&l(&[])).unwrap(), "[]");
     }
 }

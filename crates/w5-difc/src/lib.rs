@@ -34,7 +34,9 @@
 pub mod caps;
 pub mod endpoint;
 pub mod error;
+pub mod intern;
 pub mod label;
+pub mod naive;
 pub mod registry;
 pub mod rules;
 pub mod tag;
@@ -43,6 +45,7 @@ pub mod wire;
 pub use caps::{CapSet, Capability, Privilege};
 pub use endpoint::Endpoint;
 pub use error::{DifcError, DifcResult};
+pub use intern::{InternStats, LabelId, PairId};
 pub use label::Label;
 pub use registry::{TagMeta, TagRegistry};
 pub use rules::{can_flow, can_flow_with, labels_for_read, labels_for_write, safe_change, FlowCheck};
@@ -82,6 +85,12 @@ impl LabelPair {
     /// vouches for.
     pub fn is_public(&self) -> bool {
         self.secrecy.is_empty() && self.integrity.is_empty()
+    }
+
+    /// Intern both halves; the returned [`PairId`] compares, hashes and
+    /// combines in a few integer operations.
+    pub fn interned(&self) -> PairId {
+        PairId::intern(self)
     }
 }
 

@@ -1,0 +1,106 @@
+//! Differential tests: interned label operations vs the naive reference.
+//!
+//! [`w5_difc::intern`] memoizes subset checks and set algebra behind
+//! opaque ids; [`w5_difc::naive`] retains the plain `Vec<Tag>`
+//! implementations with no caching at all. For arbitrary labels the two
+//! must agree *exactly* — any divergence means a cache returned a stale or
+//! misfiled verdict, which is a security bug, not a performance bug.
+//!
+//! The same properties also run under an armed `w5-chaos` fault storm.
+//! Interning deliberately fires no chaos sites (determinism — see
+//! `DESIGN.md` §11), so an injected schedule must not change a single
+//! answer; this pins that contract rather than assuming it.
+
+use proptest::prelude::*;
+use w5_difc::{intern, naive, Label, LabelPair, Tag};
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    // Raw tag ids in a dedicated range so this test cannot collide with
+    // labels interned by other tests sharing the process-global table.
+    proptest::collection::vec(900_000_001u64..900_000_064, 0..12)
+        .prop_map(|ids| Label::from_iter(ids.into_iter().map(Tag::from_raw)))
+}
+
+fn tags(label: &Label) -> Vec<Tag> {
+    naive::tags_of(label)
+}
+
+/// Assert every interned operation against its naive counterpart for one
+/// generated triple of labels.
+fn check_agreement(a: &Label, b: &Label, c: &Label) -> Result<(), TestCaseError> {
+    let (ta, tb) = (tags(a), tags(b));
+    let (ia, ib) = (intern::intern(a), intern::intern(b));
+
+    // Interning is stable and injective on canonical sets.
+    prop_assert_eq!(intern::intern(a), ia);
+    prop_assert_eq!(ia == ib, a == b);
+    prop_assert_eq!(ia.resolve(), a.clone());
+
+    // Subset (run twice: the second round is answered from the flow cache).
+    for _ in 0..2 {
+        prop_assert_eq!(intern::subset(ia, ib), naive::subset(&ta, &tb));
+        prop_assert_eq!(intern::subset(ib, ia), naive::subset(&tb, &ta));
+    }
+
+    // Union and intersection (twice: second round hits the op memo).
+    for _ in 0..2 {
+        prop_assert_eq!(tags(&intern::union(ia, ib).resolve()), naive::union(&ta, &tb));
+        prop_assert_eq!(
+            tags(&intern::intersect(ia, ib).resolve()),
+            naive::intersect(&ta, &tb)
+        );
+    }
+
+    // can_flow (the unprivileged rule is exactly subset).
+    prop_assert_eq!(intern::subset(ia, ib), naive::can_flow(&ta, &tb));
+
+    // Pair combine: secrecy unions, integrity intersects.
+    let pa = LabelPair::new(a.clone(), c.clone());
+    let pb = LabelPair::new(b.clone(), a.clone());
+    let combined = pa.interned().combine(pb.interned()).resolve();
+    prop_assert_eq!(tags(&combined.secrecy), naive::union(&ta, &tb));
+    prop_assert_eq!(tags(&combined.integrity), naive::intersect(&tags(c), &ta));
+
+    // The obs-side image is the raw tag sequence, cached or not.
+    prop_assert_eq!(ia.to_obs(), a.to_obs_uncached());
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn interned_ops_agree_with_naive(a in arb_label(), b in arb_label(), c in arb_label()) {
+        check_agreement(&a, &b, &c)?;
+    }
+
+    /// The same agreement must hold verbatim under an armed fault storm:
+    /// label interning consumes no randomness and volunteers no fault
+    /// sites, so chaos schedules cannot perturb it.
+    #[test]
+    fn interned_ops_agree_under_chaos(
+        a in arb_label(),
+        b in arb_label(),
+        c in arb_label(),
+        seed in 0u64..1024,
+    ) {
+        let injector = w5_chaos::Injector::new(w5_chaos::FaultPlan::storm(seed, 1.0));
+        let _guard = w5_chaos::with_injector(injector.clone());
+        check_agreement(&a, &b, &c)?;
+        // The storm was armed at rate 1.0; if interning had consulted any
+        // site, the report would show it.
+        prop_assert_eq!(injector.report().total_injected(), 0);
+    }
+
+    /// Privileged flow checks agree with the naive rule once capabilities
+    /// are lowered to tag vectors (the interned fast path may only ever
+    /// *agree with* the full rule on the zero-privilege subset).
+    #[test]
+    fn fast_path_subset_implies_privileged_flow(a in arb_label(), b in arb_label()) {
+        let (ia, ib) = (intern::intern(&a), intern::intern(&b));
+        if intern::subset(ia, ib) {
+            // The kernel's fast path: a cached subset hit must imply the
+            // full privileged rule passes with any capability set.
+            prop_assert!(w5_difc::can_flow_with(&a, &w5_difc::CapSet::empty(), &b, &w5_difc::CapSet::empty()).is_ok());
+            prop_assert!(naive::can_flow_with(&tags(&a), &[], &tags(&b), &[]));
+        }
+    }
+}

@@ -35,6 +35,9 @@ pub struct SyncReport {
     pub unchanged: usize,
     /// Bytes received on the wire (payload, after decode).
     pub bytes: usize,
+    /// Records whose remote label pair arrived via the batch's interned
+    /// label dictionary (0 for batches from legacy peers).
+    pub labeled: usize,
     /// Transient failures ridden out by retries before this pass succeeded.
     pub retries: usize,
 }
@@ -133,6 +136,24 @@ impl SyncAgent {
         }
         let mut batch: ExportBatch =
             serde_json::from_slice(&resp.body).map_err(|e| SyncError::BadBatch(e.to_string()))?;
+        // Decode the batch's interned label dictionary up front: a batch
+        // with a malformed dictionary or a dangling reference is rejected
+        // whole, before any record is applied. Remote tag ids are
+        // meaningless in the local registry, so the decoded pairs serve as
+        // provenance (and the `labeled` count below); mirrored files are
+        // stamped with the *local* account's labels regardless.
+        let remote_labels = batch.decode_labels().map_err(SyncError::BadBatch)?;
+        for record in &batch.records {
+            if let Some(ix) = record.label_ref {
+                if ix as usize >= remote_labels.len() {
+                    return Err(SyncError::BadBatch(format!(
+                        "record {} references label {ix} of {}",
+                        record.path,
+                        remote_labels.len()
+                    )));
+                }
+            }
+        }
 
         // Delayed/reordered delivery: records overtake each other on the
         // wire. Mirroring must converge to the same state regardless of
@@ -158,6 +179,9 @@ impl SyncAgent {
         let mut report = SyncReport::default();
         for record in &batch.records {
             report.examined += 1;
+            if record.label_ref.is_some() {
+                report.labeled += 1;
+            }
             let data = record.data().map_err(SyncError::BadBatch)?;
             report.bytes += data.len();
             match self.platform.fs.read(&subject, &record.path) {

@@ -51,12 +51,19 @@ impl FederationService {
             w5_difc::LabelPair::public(),
             self.platform.registry.effective(&account.owner_caps),
         );
+        // Hoist the selection label out of the loop and compare by
+        // interned id: per-entry selection is an integer compare.
+        let export_secrecy =
+            w5_difc::intern::intern(&w5_difc::Label::singleton(account.export_tag));
         let mut records = Vec::new();
+        let mut dict = crate::protocol::LabelDict::new();
         if let Ok(entries) = self.platform.fs.list_recursive(&subject, "/") {
             for meta in entries {
-                if meta.labels.secrecy == w5_difc::Label::singleton(account.export_tag) {
+                if w5_difc::intern::intern(&meta.labels.secrecy) == export_secrecy {
                     if let Ok((data, _)) = self.platform.fs.read(&subject, &meta.path) {
-                        records.push(ExportRecord::new(&meta.path, meta.version, &data));
+                        let mut rec = ExportRecord::new(&meta.path, meta.version, &data);
+                        rec.label_ref = Some(dict.intern(&meta.labels));
+                        records.push(rec);
                     }
                 }
             }
@@ -65,6 +72,7 @@ impl FederationService {
             user: username.clone(),
             provider: self.platform.name.clone(),
             records,
+            labels_hex: dict.into_entries(),
         };
         match serde_json::to_string(&batch) {
             Ok(json) => Response::json(json),

@@ -4,21 +4,38 @@
 //! `w5_difc::Label` directly; an [`ObsLabel`] is the same mathematical
 //! object — a sorted, deduplicated set of tag ids — carried as raw `u64`s.
 //! `w5-difc` provides the lossless conversion from its `Label`.
+//!
+//! Ledger events clone their label on every record, so the representation
+//! is built to make clones free: 0–2 tags (the overwhelming majority of
+//! real labels — `{}` and `{e_u}`) live inline with no heap allocation,
+//! and larger sets share an `Arc<[u64]>` so a clone is a reference-count
+//! bump, never a vector copy.
+
+use std::sync::Arc;
+
+const OBS_INLINE: usize = 2;
+
+#[derive(Clone, Debug)]
+enum Repr {
+    /// Up to two tags stored in place; `tags[len..]` is unused padding.
+    Inline { len: u8, tags: [u64; OBS_INLINE] },
+    /// Larger sets, shared. Always strictly sorted, length > OBS_INLINE.
+    Heap(Arc<[u64]>),
+}
 
 /// A secrecy label as the ledger sees it: sorted, deduplicated raw tag ids.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
-pub struct ObsLabel(Vec<u64>);
+#[derive(Clone)]
+pub struct ObsLabel(Repr);
 
 impl ObsLabel {
     /// The empty (public) label.
     pub fn empty() -> ObsLabel {
-        ObsLabel(Vec::new())
+        ObsLabel(Repr::Inline { len: 0, tags: [0; OBS_INLINE] })
     }
 
     /// A label of a single tag id.
     pub fn singleton(tag: u64) -> ObsLabel {
-        ObsLabel(vec![tag])
+        ObsLabel(Repr::Inline { len: 1, tags: [tag, 0] })
     }
 
     /// Build from arbitrary tag ids (sorted and deduplicated here).
@@ -26,7 +43,7 @@ impl ObsLabel {
         let mut v: Vec<u64> = tags.into_iter().collect();
         v.sort_unstable();
         v.dedup();
-        ObsLabel(v)
+        ObsLabel::from_canonical(v)
     }
 
     /// Build from a vector the caller guarantees is sorted and deduplicated
@@ -34,38 +51,57 @@ impl ObsLabel {
     /// debug builds.
     pub fn from_sorted(v: Vec<u64>) -> ObsLabel {
         debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "obs label not strictly sorted");
-        ObsLabel(v)
+        ObsLabel::from_canonical(v)
+    }
+
+    fn from_canonical(v: Vec<u64>) -> ObsLabel {
+        if v.len() <= OBS_INLINE {
+            let mut tags = [0u64; OBS_INLINE];
+            tags[..v.len()].copy_from_slice(&v);
+            ObsLabel(Repr::Inline { len: v.len() as u8, tags })
+        } else {
+            ObsLabel(Repr::Heap(v.into()))
+        }
+    }
+
+    /// The tags as a sorted slice.
+    pub fn as_slice(&self) -> &[u64] {
+        match &self.0 {
+            Repr::Inline { len, tags } => &tags[..*len as usize],
+            Repr::Heap(a) => a,
+        }
     }
 
     /// Number of tags.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.as_slice().len()
     }
 
     /// True for the public label.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
     /// Membership test.
     pub fn contains(&self, tag: u64) -> bool {
-        self.0.binary_search(&tag).is_ok()
+        self.as_slice().binary_search(&tag).is_ok()
     }
 
     /// Iterate tag ids in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
-        self.0.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// `self ⊆ other` by linear merge. This is the clearance test: an event
     /// labeled `self` may flow to a viewer cleared for `other` exactly when
     /// the no-privilege secrecy rule `S_event ⊆ S_viewer` holds.
     pub fn is_subset(&self, other: &ObsLabel) -> bool {
-        if self.0.len() > other.0.len() {
+        let (a, b) = (self.as_slice(), other.as_slice());
+        if a.len() > b.len() {
             return false;
         }
-        let mut oi = other.0.iter();
-        'outer: for t in &self.0 {
+        let mut oi = b.iter();
+        'outer: for t in a {
             for o in oi.by_ref() {
                 match o.cmp(t) {
                     std::cmp::Ordering::Less => continue,
@@ -80,34 +116,86 @@ impl ObsLabel {
 
     /// `self ∪ other` (used to accumulate the label of a latency series).
     pub fn union(&self, other: &ObsLabel) -> ObsLabel {
-        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (a, b) = (self.as_slice(), other.as_slice());
+        if a.is_empty() {
+            return other.clone();
+        }
+        if b.is_empty() {
+            return self.clone();
+        }
+        let mut out = Vec::with_capacity(a.len() + b.len());
         let (mut i, mut j) = (0, 0);
-        while i < self.0.len() && j < other.0.len() {
-            match self.0[i].cmp(&other.0[j]) {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => {
-                    out.push(self.0[i]);
+                    out.push(a[i]);
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    out.push(other.0[j]);
+                    out.push(b[j]);
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    out.push(self.0[i]);
+                    out.push(a[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        out.extend_from_slice(&self.0[i..]);
-        out.extend_from_slice(&other.0[j..]);
-        ObsLabel(out)
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        ObsLabel::from_canonical(out)
+    }
+}
+
+impl Default for ObsLabel {
+    fn default() -> ObsLabel {
+        ObsLabel::empty()
+    }
+}
+
+// Equality, hashing and debug output are representation-blind: they see
+// only the canonical sorted tag sequence.
+impl PartialEq for ObsLabel {
+    fn eq(&self, other: &ObsLabel) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ObsLabel {}
+
+impl std::hash::Hash for ObsLabel {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for ObsLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObsLabel(")?;
+        f.debug_list().entries(self.iter()).finish()?;
+        write!(f, ")")
     }
 }
 
 impl FromIterator<u64> for ObsLabel {
     fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> ObsLabel {
         ObsLabel::from_tags(iter)
+    }
+}
+
+// Wire format unchanged from the old `#[serde(transparent)] Vec<u64>`
+// derive: a plain JSON array, e.g. `[7,9]`.
+impl serde::Serialize for ObsLabel {
+    fn to_json(&self) -> serde::Json {
+        serde::Json::Arr(self.iter().map(serde::Json::UInt).collect())
+    }
+}
+
+impl serde::Deserialize for ObsLabel {
+    fn from_json(v: &serde::Json) -> Result<ObsLabel, serde::DeError> {
+        let tags: Vec<u64> = serde::Deserialize::from_json(v)?;
+        Ok(ObsLabel::from_tags(tags))
     }
 }
 
@@ -150,5 +238,27 @@ mod tests {
         assert_eq!(json, "[7,9]");
         let back: ObsLabel = serde_json::from_str(&json).unwrap();
         assert_eq!(back, l);
+    }
+
+    #[test]
+    fn eq_and_hash_span_representations() {
+        use std::collections::HashSet;
+        // 3+ tags heap-allocate; a union that collapses back under the
+        // inline threshold must still equal an inline-built label.
+        let heap = ObsLabel::from_tags([1, 2, 3]);
+        assert!(matches!(heap.0, Repr::Heap(_)));
+        let inline = ObsLabel::from_tags([1, 2]);
+        assert!(matches!(inline.0, Repr::Inline { .. }));
+        assert_eq!(inline, ObsLabel::from_sorted(vec![1, 2]));
+        let mut set = HashSet::new();
+        set.insert(heap.clone());
+        assert!(set.contains(&ObsLabel::from_tags([3, 2, 1])));
+        // Clones of heap labels share storage (Arc), not copy it.
+        let c = heap.clone();
+        if let (Repr::Heap(a), Repr::Heap(b)) = (&heap.0, &c.0) {
+            assert!(Arc::ptr_eq(a, b));
+        } else {
+            panic!("expected heap reprs");
+        }
     }
 }

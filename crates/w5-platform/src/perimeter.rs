@@ -140,6 +140,10 @@ impl Exporter {
     ) -> ExportDecision {
         let started = std::time::Instant::now();
         self.stats.checked.fetch_add(1, Ordering::Relaxed);
+        // One interned-cache lookup covers both ledger emissions below;
+        // for the dominant public-response case this is an alloc-free
+        // inline copy.
+        let obs_secrecy = labels.secrecy.to_obs();
         let mut cleared = Vec::new();
         let mut blocked = Vec::new();
 
@@ -199,14 +203,14 @@ impl Exporter {
         // export names the tags that blocked it, which is exactly the data
         // the perimeter refused to release.
         w5_obs::record(
-            labels.secrecy.to_obs(),
+            obs_secrecy.clone(),
             w5_obs::EventKind::ExportCheck {
                 app: app.to_string(),
                 allowed,
                 blocked_tags: blocked.len() as u64,
             },
         );
-        w5_obs::time("platform.export_check", &labels.secrecy.to_obs(), started.elapsed());
+        w5_obs::time("platform.export_check", &obs_secrecy, started.elapsed());
         ExportDecision { allowed, cleared, blocked }
     }
 

@@ -30,4 +30,4 @@ pub use fs::{FileMeta, FsError, LabeledFs};
 pub use sql::{
     Database, QueryCost, QueryError, QueryMode, QueryOutput, Row, SqlError, Value,
 };
-pub use subject::Subject;
+pub use subject::{FlowMemo, Subject};

@@ -9,7 +9,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use w5_difc::LabelPair;
+use w5_difc::{LabelPair, PairId};
 
 /// How the engine treats rows the subject may not read. See the module docs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,10 +115,13 @@ pub struct QueryOutput {
     pub scanned: u64,
 }
 
+/// A stored row. Labels are held as an interned [`PairId`] — a `Copy`
+/// 8-byte handle — so per-row flow checks during scans are integer-keyed
+/// memo probes and stamping/combining labels never clones tag vectors.
 #[derive(Clone, Debug)]
 struct StoredRow {
     values: Vec<Value>,
-    labels: LabelPair,
+    labels: PairId,
 }
 
 #[derive(Clone, Debug)]
@@ -232,7 +235,8 @@ impl Database {
         // Dropping destroys every row, so it is a write to each of them.
         // The check is uniform over all rows (visible or not) to avoid
         // turning DROP into an existence oracle.
-        if !t.rows.iter().all(|r| subject.may_write(&r.labels)) {
+        let mut memo = subject.memo();
+        if !t.rows.iter().all(|r| memo.may_write(r.labels)) {
             return Err(QueryError::WriteDenied);
         }
         tables.remove(name);
@@ -250,6 +254,9 @@ impl Database {
         if !subject.may_write(insert_labels) {
             return Err(QueryError::WriteDenied);
         }
+        // Intern once; every inserted row stamps the same `Copy` id
+        // instead of cloning the label pair.
+        let insert_id = insert_labels.interned();
         let mut tables = self.tables.write();
         let t = tables
             .get_mut(table)
@@ -280,7 +287,7 @@ impl Database {
                 }
                 values[ix] = v;
             }
-            staged.push(StoredRow { values, labels: insert_labels.clone() });
+            staged.push(StoredRow { values, labels: insert_id });
         }
         let n = staged.len();
         t.rows.extend(staged);
@@ -320,6 +327,9 @@ impl Database {
 
         validate_columns(t, filter.as_ref())?;
 
+        // Scan by reference: rows rejected by the label check or the
+        // predicate cost one memoized id-keyed check and zero clones.
+        let mut memo = subject.memo();
         let mut scanned = 0u64;
         let mut hits: Vec<&StoredRow> = Vec::new();
         for row in &t.rows {
@@ -327,7 +337,7 @@ impl Database {
             if scanned > cost.max_rows_scanned {
                 return Err(QueryError::BudgetExhausted);
             }
-            if mode == QueryMode::Filtered && !subject.may_read(&row.labels) {
+            if mode == QueryMode::Filtered && !memo.may_read(row.labels) {
                 continue;
             }
             if let Some(f) = &filter {
@@ -353,8 +363,10 @@ impl Database {
             hits.truncate(n);
         }
 
-        // Combined labels over contributing rows.
-        let labels = combine_labels(hits.iter().map(|r| &r.labels));
+        // Combined labels over contributing rows: an id-level fold whose
+        // self-combine fast path makes the homogeneous-label scan free.
+        let label_id = combine_labels(hits.iter().map(|r| r.labels));
+        let labels = label_id.resolve();
 
         let is_agg = items.iter().any(SelectItem::is_aggregate);
         if is_agg {
@@ -401,6 +413,7 @@ impl Database {
             }
         }
         let mut rows = Vec::with_capacity(hits.len());
+        let mut resolved: HashMap<PairId, LabelPair> = HashMap::new();
         for r in &hits {
             let mut values = Vec::with_capacity(proj.len());
             for p in &proj {
@@ -409,7 +422,9 @@ impl Database {
                     Projection::Expr(e) => eval(e, t, &r.values)?,
                 });
             }
-            rows.push(Row { values, labels: r.labels.clone() });
+            let labels =
+                resolved.entry(r.labels).or_insert_with(|| r.labels.resolve()).clone();
+            rows.push(Row { values, labels });
         }
         Ok(QueryOutput { columns: headers, rows, labels, affected: 0, scanned })
     }
@@ -433,6 +448,7 @@ impl Database {
             .map(|(c, e)| t.col_index(&c).map(|i| (i, e)))
             .collect::<Result<_, _>>()?;
 
+        let mut memo = subject.memo();
         let mut scanned = 0u64;
         let mut affected = 0usize;
         // Two passes: decide, then apply — so a WriteDenied aborts the whole
@@ -443,7 +459,7 @@ impl Database {
             if scanned > cost.max_rows_scanned {
                 return Err(QueryError::BudgetExhausted);
             }
-            if mode == QueryMode::Filtered && !subject.may_read(&row.labels) {
+            if mode == QueryMode::Filtered && !memo.may_read(row.labels) {
                 continue;
             }
             if let Some(f) = &filter {
@@ -451,7 +467,7 @@ impl Database {
                     continue;
                 }
             }
-            if !subject.may_write(&row.labels) {
+            if !memo.may_write(row.labels) {
                 return Err(QueryError::WriteDenied);
             }
             to_update.push(ri);
@@ -495,6 +511,7 @@ impl Database {
         validate_columns(t, filter.as_ref())?;
         // Mark pass (immutable), then sweep — so WriteDenied and budget
         // errors abort the statement without partial effects.
+        let mut memo = subject.memo();
         let mut scanned = 0u64;
         let mut doomed = vec![false; t.rows.len()];
         for (ri, row) in t.rows.iter().enumerate() {
@@ -502,7 +519,7 @@ impl Database {
             if scanned > cost.max_rows_scanned {
                 return Err(QueryError::BudgetExhausted);
             }
-            if mode == QueryMode::Filtered && !subject.may_read(&row.labels) {
+            if mode == QueryMode::Filtered && !memo.may_read(row.labels) {
                 continue;
             }
             if let Some(f) = &filter {
@@ -510,7 +527,7 @@ impl Database {
                     continue;
                 }
             }
-            if !subject.may_write(&row.labels) {
+            if !memo.may_write(row.labels) {
                 return Err(QueryError::WriteDenied);
             }
             doomed[ri] = true;
@@ -571,10 +588,11 @@ fn join_tables(
     let li = left.col_index(&lcol)?;
     let ri = right.col_index(&rcol)?;
 
-    let visible = |rows: &[StoredRow]| -> Vec<usize> {
+    let mut memo = subject.memo();
+    let mut visible = |rows: &[StoredRow]| -> Vec<usize> {
         rows.iter()
             .enumerate()
-            .filter(|(_, r)| mode == QueryMode::Naive || subject.may_read(&r.labels))
+            .filter(|(_, r)| mode == QueryMode::Naive || memo.may_read(r.labels))
             .map(|(i, _)| i)
             .collect()
     };
@@ -597,7 +615,7 @@ fn join_tables(
             let mut values = Vec::with_capacity(columns.len());
             values.extend(lrow.values.iter().cloned());
             values.extend(rrow.values.iter().cloned());
-            rows.push(StoredRow { values, labels: lrow.labels.combine(&rrow.labels) });
+            rows.push(StoredRow { values, labels: lrow.labels.combine(rrow.labels) });
         }
     }
     Ok(Table { columns, rows })
@@ -626,10 +644,15 @@ fn validate_columns(t: &Table, filter: Option<&Expr>) -> Result<(), QueryError> 
     Ok(())
 }
 
-fn combine_labels<'a, I: Iterator<Item = &'a LabelPair>>(mut labels: I) -> LabelPair {
+/// Fold the interned labels of contributing rows. [`PairId::combine`]'s
+/// identity fast path means a scan over rows with one distinct label pair
+/// (the common case: one user's table) does no set algebra at all.
+fn combine_labels<I: Iterator<Item = PairId>>(mut labels: I) -> PairId {
+    // Seed from the first row, not from PUBLIC: integrity combines by
+    // intersection, and an empty seed would erase every integrity claim.
     match labels.next() {
-        None => LabelPair::public(),
-        Some(first) => labels.fold(first.clone(), |acc, l| acc.combine(l)),
+        None => PairId::PUBLIC,
+        Some(first) => labels.fold(first, |acc, l| acc.combine(l)),
     }
 }
 

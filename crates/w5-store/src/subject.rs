@@ -1,6 +1,8 @@
 //! The acting subject of a storage operation.
 
-use w5_difc::{rules, CapSet, FlowCheck, LabelPair};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use w5_difc::{rules, CapSet, FlowCheck, LabelPair, PairId};
 
 /// A snapshot of the acting process's flow-control state: its labels and
 /// its *effective* capability set (private bag ∪ global bag).
@@ -45,6 +47,85 @@ impl Subject {
     pub fn may_write(&self, obj: &LabelPair) -> bool {
         rules::labels_for_write(&self.labels, &self.caps, obj).is_allowed()
     }
+
+    /// A per-operation flow memo over this subject. See [`FlowMemo`].
+    pub fn memo(&self) -> FlowMemo<'_> {
+        FlowMemo { subject: self, read: PairIdMap::default(), write: PairIdMap::default() }
+    }
+}
+
+/// Memoized flow checks against one fixed subject, keyed by interned
+/// [`PairId`] — the per-row check on a table scan becomes a hash probe on
+/// a `Copy` key after the first row with each distinct label pair.
+///
+/// Scoped deliberately: the memo holds `&Subject`, so the borrow checker
+/// guarantees the subject's labels and capabilities cannot change while
+/// cached verdicts are live (`Subject`'s fields are public and mutable —
+/// a longer-lived cache would be unsound). Verdicts depend only on the
+/// subject (frozen by the borrow) and on immutable interned labels, so
+/// within that scope they never stale.
+pub struct FlowMemo<'a> {
+    subject: &'a Subject,
+    read: PairIdMap,
+    write: PairIdMap,
+}
+
+type PairIdMap = HashMap<PairId, bool, BuildHasherDefault<PairIdHasher>>;
+
+/// FNV-1a over the raw label ids. `PairId` keys are two small dense
+/// integers, so SipHash's DoS resistance buys nothing and its cost
+/// dominates the per-row probe this memo exists to make cheap.
+#[derive(Default)]
+struct PairIdHasher(u64);
+
+impl Hasher for PairIdHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(0x100000001b3);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl FlowMemo<'_> {
+    /// Memoized [`Subject::may_read`] on an interned pair.
+    pub fn may_read(&mut self, id: PairId) -> bool {
+        match self.read.get(&id) {
+            Some(&ok) => {
+                // Memoized verdicts still tick the ledger: audit sees every
+                // per-row check; only the recomputation is skipped.
+                w5_obs::count_check("read", ok, id.secrecy.to_obs());
+                ok
+            }
+            None => {
+                let ok = self.subject.may_read(&id.resolve());
+                self.read.insert(id, ok);
+                ok
+            }
+        }
+    }
+
+    /// Memoized [`Subject::may_write`] on an interned pair.
+    pub fn may_write(&mut self, id: PairId) -> bool {
+        match self.write.get(&id) {
+            Some(&ok) => {
+                w5_obs::count_check("write", ok, self.subject.labels.secrecy.to_obs());
+                ok
+            }
+            None => {
+                let ok = self.subject.may_write(&id.resolve());
+                self.write.insert(id, ok);
+                ok
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -74,5 +155,31 @@ mod tests {
         // Public data is both.
         assert!(anon.may_read_at_current_labels(&LabelPair::public()));
         assert!(anon.may_write(&LabelPair::public()));
+    }
+
+    #[test]
+    fn memo_agrees_with_direct_checks() {
+        let reg = Arc::new(TagRegistry::new());
+        let (e, _) = reg.create_tag(TagKind::ExportProtect, "export:m");
+        let (w, _) = reg.create_tag(TagKind::WriteProtect, "write:m");
+        let mut anon = Subject::anonymous();
+        anon.caps = reg.effective(&anon.caps);
+
+        let pairs = [
+            LabelPair::public(),
+            LabelPair::new(Label::singleton(e), Label::empty()),
+            LabelPair::new(Label::empty(), Label::singleton(w)),
+            LabelPair::new(Label::singleton(e), Label::singleton(w)),
+        ];
+        let mut memo = anon.memo();
+        // Two rounds: the second is answered entirely from the memo and
+        // must agree with the direct (uncached) checks.
+        for _ in 0..2 {
+            for p in &pairs {
+                let id = p.interned();
+                assert_eq!(memo.may_read(id), anon.may_read(p));
+                assert_eq!(memo.may_write(id), anon.may_write(p));
+            }
+        }
     }
 }
