@@ -1,0 +1,71 @@
+//! Build the seed world (the six canonical apps plus the malice catalog),
+//! capture its configuration snapshot, audit it, and write the snapshot to
+//! a JSON file for `w5lint`.
+//!
+//! This is an *example* rather than a binary so it can depend on
+//! `w5-apps` (a dev-dependency — Cargo does not let plain binaries use
+//! those). CI runs it to produce the snapshot that the `w5lint` gate then
+//! checks:
+//!
+//! ```text
+//! cargo run -p w5-analyze --example seed_audit -- target/seed-snapshot.json
+//! cargo run -p w5-analyze --bin w5lint -- --deny warning target/seed-snapshot.json
+//! ```
+//!
+//! Exits nonzero if the seed configuration has any finding at all — the
+//! seed world is the reference deployment and must audit clean.
+
+use std::process::ExitCode;
+use w5_analyze::{AuditExt, ConfigSnapshot};
+use w5_platform::{GrantScope, Platform};
+
+fn main() -> ExitCode {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/seed-snapshot.json".to_string());
+
+    let platform = Platform::new_default("w5-seed");
+    w5_apps::install_all(&platform);
+
+    // A representative population: accounts, enrollment, delegations, and
+    // declassifier grants of every builtin kind.
+    let users: Vec<_> = ["alice", "bob", "carol"]
+        .iter()
+        .map(|name| platform.accounts.register(name, "pw").expect("register"))
+        .collect();
+    for u in &users {
+        for app in ["devA/photos", "devB/blog", "devC/social"] {
+            platform.policies.enroll(u.id, app);
+            platform.policies.delegate_write(u.id, app);
+        }
+    }
+    platform.policies.grant_declassifier(
+        users[0].id,
+        "friends-only",
+        GrantScope::App("devB/blog".into()),
+    );
+    platform.policies.grant_declassifier(users[1].id, "public-read", GrantScope::AllApps);
+    platform.policies.grant_declassifier(
+        users[2].id,
+        "group-only",
+        GrantScope::App("devC/social".into()),
+    );
+
+    let snapshot = ConfigSnapshot::capture(&platform);
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(&out, &json).expect("write snapshot");
+    println!("seed_audit: wrote {} ({} bytes)", out, json.len());
+
+    let report = platform.audit();
+    print!("{}", report.render_human());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

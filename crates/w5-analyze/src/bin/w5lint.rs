@@ -1,0 +1,142 @@
+//! w5lint — static label-flow auditor CLI.
+//!
+//! Reads one or more `ConfigSnapshot` JSON files (produced by
+//! `ConfigSnapshot::capture`, e.g. via the `seed_audit` example or an
+//! operator's export job), runs the full flow analysis and lint catalog,
+//! and prints findings.
+//!
+//! ```text
+//! w5lint [--json] [--reach] [--deny info|warning|error] [--list] SNAPSHOT.json...
+//! ```
+//!
+//! Exit codes: `0` = every snapshot passes the `--deny` gate (default
+//! gate: error), `1` = at least one finding at or above the gate,
+//! `2` = usage or input error. Designed for CI: the exit code is the
+//! verdict, stdout is the evidence.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+use w5_analyze::{AuditReport, ConfigSnapshot, Severity, LINT_CATALOG};
+
+const USAGE: &str = "usage: w5lint [--json] [--reach] [--deny info|warning|error] [--list] SNAPSHOT.json...
+
+  --json    emit the full report as JSON instead of human-readable lines
+  --reach   also print per-tag reachability (which audiences each tag can reach)
+  --deny S  exit nonzero when any finding has severity >= S (default: error)
+  --list    print the lint catalog and exit";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut reach = false;
+    let mut deny = Severity::Error;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--reach" => reach = true,
+            "--list" => {
+                for (code, name, severity, desc) in LINT_CATALOG {
+                    println!("{code}  {severity:<7}  {name:<22} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--deny" => {
+                let Some(v) = argv.next() else {
+                    eprintln!("w5lint: --deny requires a severity\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                match v.parse::<Severity>() {
+                    Ok(s) => deny = s,
+                    Err(e) => {
+                        eprintln!("w5lint: {e}\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("w5lint: unknown flag {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    if files.is_empty() {
+        eprintln!("w5lint: no snapshot files given\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut gate_failed = false;
+    for file in &files {
+        let raw = match std::fs::read_to_string(file) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("w5lint: cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let snap: ConfigSnapshot = match serde_json::from_str(&raw) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("w5lint: {file} is not a valid snapshot: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // Reachability must be computed before the snapshot moves into the
+        // report; clone only when the caller asked for --reach output.
+        let reach_lines = if reach { Some(render_reach(&snap)) } else { None };
+        let report = AuditReport::from_snapshot(snap);
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            if files.len() > 1 {
+                println!("== {file} ==");
+            }
+            print!("{}", report.render_human());
+            if let Some(lines) = reach_lines {
+                print!("{lines}");
+            }
+        }
+        if !report.passes(deny) {
+            gate_failed = true;
+        }
+    }
+
+    if gate_failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Per-tag reachability rendering: one line per (tag, exit).
+fn render_reach(snap: &ConfigSnapshot) -> String {
+    use std::fmt::Write as _;
+    let analysis = w5_analyze::Analysis::analyze(snap.clone());
+    let mut s = String::new();
+    let _ = writeln!(s, "reachability ({} tags):", analysis.snapshot.tags.len());
+    for t in &analysis.snapshot.tags {
+        let exits = analysis.exits(t.raw);
+        if exits.is_empty() {
+            let _ = writeln!(s, "  {}: unreachable (no exit path)", t.name);
+            continue;
+        }
+        for e in exits {
+            let app = e.app.as_deref().unwrap_or("*");
+            let via = if e.via.is_empty() {
+                if e.unguarded { "UNGUARDED".to_string() } else { "owner-session".to_string() }
+            } else {
+                e.via.join(" -> ")
+            };
+            let _ = writeln!(s, "  {}: -> {} via app {} [{}]", t.name, e.class.name(), app, via);
+        }
+    }
+    s
+}

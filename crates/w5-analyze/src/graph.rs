@@ -1,0 +1,497 @@
+//! The label-flow graph and its reachability engine.
+//!
+//! Nodes are the principals of the deployed configuration: secrecy tags,
+//! app processes, declassifier consultations (one per owner × declassifier
+//! × grant scope), and the five perimeter *exit classes* — the audience a
+//! byte reaches once it leaves the platform. Edges are flows the runtime
+//! *would permit*: tag raises into app processes (Flume rule: `t+ ∈ Ô`),
+//! owner-session clearance, grant-enabled declassifier consultations, and
+//! declassifier-approved exports.
+//!
+//! [`FlowGraph::reach`] runs a worklist fixed point per secrecy tag. States
+//! are `(node, app-context)` pairs — the app context is the last app
+//! process the taint flowed through, because grants are per-app: a tag may
+//! exit via `friends-only` on `devB/blog` while having no path at all via
+//! `mal/exfiltrator`. The result is the set of [`ExitInfo`]s: which
+//! audience classes the tag can reach, through which app and declassifier
+//! chain, and whether the path bypassed the perimeter entirely.
+//!
+//! Soundness contract (see `DESIGN.md` §12): the graph may
+//! **over-approximate** reachability (an edge exists whenever the runtime
+//! *could* permit the flow), but must never claim a tag is unreachable for
+//! an audience the runtime would release it to.
+
+use crate::snapshot::ConfigSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// The audience class of a perimeter exit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ExitClass {
+    /// The data owner's own authenticated session.
+    Owner,
+    /// Viewers on the owner's friend list.
+    Friends,
+    /// Members of one of the owner's groups.
+    Group,
+    /// Authenticated viewers with no relationship to the owner.
+    Strangers,
+    /// Unauthenticated viewers.
+    Anonymous,
+}
+
+impl ExitClass {
+    /// All classes, narrowest audience first.
+    pub const ALL: [ExitClass; 5] = [
+        ExitClass::Owner,
+        ExitClass::Friends,
+        ExitClass::Group,
+        ExitClass::Strangers,
+        ExitClass::Anonymous,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExitClass::Owner => "owner",
+            ExitClass::Friends => "friends",
+            ExitClass::Group => "group",
+            ExitClass::Strangers => "strangers",
+            ExitClass::Anonymous => "anonymous",
+        }
+    }
+}
+
+/// A node in the flow graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A secrecy tag (raw id) — the source of every query.
+    Tag(u64),
+    /// An app process (registry key).
+    App(String),
+    /// A declassifier consultation enabled by one owner's grant.
+    Declass {
+        /// Tag owner's user id.
+        owner: u64,
+        /// Declassifier name.
+        name: String,
+        /// Grant scope: an app key, or `"*"` for all apps.
+        scope: String,
+    },
+    /// A perimeter exit to one audience class.
+    Exit(ExitClass),
+}
+
+/// Why an edge exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// The app can raise the tag into its label (`t+` available), so the
+    /// tagged data can enter its process.
+    Raise,
+    /// Perimeter case 1: the viewer owns the tag.
+    OwnerSession,
+    /// A policy grant lets the perimeter consult this declassifier for
+    /// this app's responses.
+    Grant,
+    /// The declassifier's probed policy releases to this audience class.
+    Export,
+    /// No guard at all: IFC is off, or the tag's `t-` is globally held so
+    /// any process can strip it before the perimeter looks.
+    Unguarded,
+}
+
+/// A directed edge, optionally restricted to one tag.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Source node index.
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Why the flow is permitted.
+    pub kind: EdgeKind,
+    /// If set, the edge only carries this tag.
+    pub for_tag: Option<u64>,
+}
+
+/// One way a tag can leave the platform.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExitInfo {
+    /// Audience class reached.
+    pub class: ExitClass,
+    /// App the taint flowed through; `None` means the path is valid
+    /// through *any* app (owner session, or a perimeter bypass).
+    pub app: Option<String>,
+    /// Declassifier chain that approved the export, outermost first.
+    /// Empty for owner sessions and unguarded paths.
+    pub via: Vec<String>,
+    /// True when the path bypassed the perimeter entirely.
+    pub unguarded: bool,
+}
+
+/// The flow graph for one configuration snapshot.
+pub struct FlowGraph {
+    /// Node table.
+    pub nodes: Vec<NodeKind>,
+    /// Edge table.
+    pub edges: Vec<Edge>,
+    out: Vec<Vec<usize>>,
+    tag_node: HashMap<u64, usize>,
+    declass_chain: HashMap<String, Vec<String>>,
+}
+
+impl FlowGraph {
+    /// Build the flow graph for a snapshot. Pure function of the snapshot.
+    pub fn build(snap: &ConfigSnapshot) -> FlowGraph {
+        let mut g = FlowGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            out: Vec::new(),
+            tag_node: HashMap::new(),
+            declass_chain: snap
+                .declassifiers
+                .iter()
+                .map(|d| (d.name.clone(), d.chain.clone()))
+                .collect(),
+        };
+
+        let mut exit_node: BTreeMap<ExitClass, usize> = BTreeMap::new();
+        for c in ExitClass::ALL {
+            exit_node.insert(c, g.add_node(NodeKind::Exit(c)));
+        }
+        let mut app_node: BTreeMap<String, usize> = BTreeMap::new();
+        for a in &snap.apps {
+            app_node.insert(a.key.clone(), g.add_node(NodeKind::App(a.key.clone())));
+        }
+        for t in &snap.tags {
+            let n = g.add_node(NodeKind::Tag(t.raw));
+            g.tag_node.insert(t.raw, n);
+        }
+
+        // Raise edges: which app processes can tagged data enter?
+        for t in &snap.tags {
+            let tn = g.tag_node[&t.raw];
+            if t.global_plus || t.global_minus || !snap.enforce_ifc {
+                // ExportProtect tags: t+ is global, every app can raise.
+                // Globally-strippable tags and unenforced platforms flow
+                // everywhere too.
+                for &an in app_node.values() {
+                    g.add_edge(tn, an, EdgeKind::Raise, Some(t.raw));
+                }
+            } else if t.kind == "read" {
+                // ReadProtect tags: only read-delegated apps can hold the
+                // data at all.
+                if let Some(owner) = snap.owner_of(t.raw) {
+                    for key in &owner.read_delegations {
+                        if let Some(&an) = app_node.get(key) {
+                            g.add_edge(tn, an, EdgeKind::Raise, Some(t.raw));
+                        }
+                    }
+                }
+            }
+            // WriteProtect tags with creator-held t+: nobody else can even
+            // label data with them, and nobody needs to — if t- is global
+            // the Unguarded exit below captures the real exposure.
+        }
+
+        // Perimeter bypasses: no enforcement, or globally-strippable tags.
+        for t in &snap.tags {
+            let tn = g.tag_node[&t.raw];
+            if !snap.enforce_ifc || t.global_minus {
+                for c in ExitClass::ALL {
+                    g.add_edge(tn, exit_node[&c], EdgeKind::Unguarded, Some(t.raw));
+                }
+            }
+        }
+
+        // Owner sessions: perimeter case 1 clears a viewer's own tags in
+        // any app. (Over-approximates for read-protected tags, which only
+        // *enter* delegated apps; the Raise edges bound actual exposure.)
+        for u in &snap.users {
+            for raw in [Some(u.export_tag), u.read_tag].into_iter().flatten() {
+                if let Some(&tn) = g.tag_node.get(&raw) {
+                    g.add_edge(tn, exit_node[&ExitClass::Owner], EdgeKind::OwnerSession, Some(raw));
+                }
+            }
+        }
+
+        // Grants: perimeter case 2. An owner's grant lets the perimeter
+        // consult the declassifier for responses from in-scope apps; the
+        // declassifier's probed breadth decides which exits open.
+        for u in &snap.users {
+            let owner_tags: Vec<u64> =
+                [Some(u.export_tag), u.read_tag].into_iter().flatten().collect();
+            for grant in &u.grants {
+                let Some(decl) =
+                    snap.declassifiers.iter().find(|d| d.name == grant.declassifier)
+                else {
+                    continue; // dangling grant: W5A007's job, no edge
+                };
+                let scope = grant.app.clone().unwrap_or_else(|| "*".to_string());
+                let dn = g.add_node(NodeKind::Declass {
+                    owner: u.id,
+                    name: decl.name.clone(),
+                    scope: scope.clone(),
+                });
+                let in_scope: Vec<usize> = match &grant.app {
+                    Some(key) => app_node.get(key).copied().into_iter().collect(),
+                    None => app_node.values().copied().collect(),
+                };
+                for an in in_scope {
+                    for &raw in &owner_tags {
+                        g.add_edge(an, dn, EdgeKind::Grant, Some(raw));
+                    }
+                }
+                for (class, open) in [
+                    (ExitClass::Owner, decl.breadth.owner),
+                    (ExitClass::Friends, decl.breadth.friends),
+                    (ExitClass::Group, decl.breadth.group),
+                    (ExitClass::Strangers, decl.breadth.strangers),
+                    (ExitClass::Anonymous, decl.breadth.anonymous),
+                ] {
+                    if open {
+                        g.add_edge(dn, exit_node[&class], EdgeKind::Export, None);
+                    }
+                }
+            }
+        }
+
+        g
+    }
+
+    fn add_node(&mut self, kind: NodeKind) -> usize {
+        self.nodes.push(kind);
+        self.out.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, kind: EdgeKind, for_tag: Option<u64>) {
+        self.edges.push(Edge { from, to, kind, for_tag });
+        self.out[from].push(self.edges.len() - 1);
+    }
+
+    /// Fixed-point reachability for one secrecy tag: every way it can exit
+    /// the platform. States are `(node, app-context)`; the worklist runs
+    /// until no new state is discovered.
+    pub fn reach(&self, tag: u64) -> Vec<ExitInfo> {
+        let Some(&start) = self.tag_node.get(&tag) else {
+            return Vec::new();
+        };
+        let mut exits: Vec<ExitInfo> = Vec::new();
+        let mut seen: HashSet<(usize, Option<usize>)> = HashSet::new();
+        let mut work: VecDeque<(usize, Option<usize>)> = VecDeque::new();
+        seen.insert((start, None));
+        work.push_back((start, None));
+
+        while let Some((node, ctx)) = work.pop_front() {
+            for &ei in &self.out[node] {
+                let e = &self.edges[ei];
+                if e.for_tag.is_some() && e.for_tag != Some(tag) {
+                    continue;
+                }
+                match &self.nodes[e.to] {
+                    NodeKind::Exit(class) => {
+                        let via = match &self.nodes[e.from] {
+                            NodeKind::Declass { name, .. } => self
+                                .declass_chain
+                                .get(name)
+                                .cloned()
+                                .unwrap_or_else(|| vec![name.clone()]),
+                            _ => Vec::new(),
+                        };
+                        let app = ctx.and_then(|a| match &self.nodes[a] {
+                            NodeKind::App(key) => Some(key.clone()),
+                            _ => None,
+                        });
+                        let info = ExitInfo {
+                            class: *class,
+                            app,
+                            via,
+                            unguarded: e.kind == EdgeKind::Unguarded,
+                        };
+                        if !exits.contains(&info) {
+                            exits.push(info);
+                        }
+                    }
+                    NodeKind::App(_) => {
+                        let next = (e.to, Some(e.to));
+                        if seen.insert(next) {
+                            work.push_back(next);
+                        }
+                    }
+                    _ => {
+                        let next = (e.to, ctx);
+                        if seen.insert(next) {
+                            work.push_back(next);
+                        }
+                    }
+                }
+            }
+        }
+
+        exits.sort();
+        exits
+    }
+
+    /// Human-readable node name (debugging and reports).
+    pub fn describe(&self, idx: usize, snap: &ConfigSnapshot) -> String {
+        match &self.nodes[idx] {
+            NodeKind::Tag(raw) => format!("tag:{}", snap.tag_name(*raw)),
+            NodeKind::App(key) => format!("app:{key}"),
+            NodeKind::Declass { owner, name, scope } => {
+                let who = snap
+                    .users
+                    .iter()
+                    .find(|u| u.id == *owner)
+                    .map(|u| u.username.clone())
+                    .unwrap_or_else(|| format!("user:{owner}"));
+                format!("declass:{name}[owner={who},scope={scope}]")
+            }
+            NodeKind::Exit(c) => format!("exit:{}", c.name()),
+        }
+    }
+}
+
+/// A full analysis: the snapshot, its flow graph, and per-tag reachability.
+pub struct Analysis {
+    /// The configuration analyzed.
+    pub snapshot: ConfigSnapshot,
+    /// The flow graph built from it.
+    pub graph: FlowGraph,
+    /// For every tag: all the ways it can exit, sorted and deduplicated.
+    pub reach: BTreeMap<u64, Vec<ExitInfo>>,
+}
+
+impl Analysis {
+    /// Build the graph and run the fixed point for every tag.
+    pub fn analyze(snapshot: ConfigSnapshot) -> Analysis {
+        let graph = FlowGraph::build(&snapshot);
+        let reach = snapshot.tags.iter().map(|t| (t.raw, graph.reach(t.raw))).collect();
+        Analysis { snapshot, graph, reach }
+    }
+
+    /// All the ways `tag` can exit (empty slice for unknown tags).
+    pub fn exits(&self, tag: u64) -> &[ExitInfo] {
+        self.reach.get(&tag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Would the static model permit `tag` to reach any of `classes`
+    /// through responses produced by `app`? Paths with `app: None`
+    /// (owner sessions, perimeter bypasses) apply to every app.
+    pub fn allowed(&self, tag: u64, app: &str, classes: &[ExitClass]) -> bool {
+        self.exits(tag).iter().any(|e| {
+            classes.contains(&e.class)
+                && match &e.app {
+                    None => true,
+                    Some(a) => a == app,
+                }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::ConfigSnapshot;
+    use w5_platform::{GrantScope, Platform, PlatformConfig};
+
+    fn world() -> std::sync::Arc<Platform> {
+        let p = Platform::new_default("graph-test");
+        p.apps
+            .publish(w5_platform::AppManifest {
+                name: "blog".into(),
+                developer: "devb".into(),
+                version: 1,
+                description: "t".into(),
+                module_slots: vec![],
+                imports: vec![],
+                forked_from: None,
+                source: Some("fn main() {}".into()),
+            })
+            .unwrap();
+        p.apps
+            .publish(w5_platform::AppManifest {
+                name: "exfil".into(),
+                developer: "mal".into(),
+                version: 1,
+                description: "t".into(),
+                module_slots: vec![],
+                imports: vec![],
+                forked_from: None,
+                source: None,
+            })
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn ungranted_tag_reaches_only_owner() {
+        let p = world();
+        let alice = p.accounts.register("alice", "pw").unwrap();
+        let a = Analysis::analyze(ConfigSnapshot::capture(&p));
+        let exits = a.exits(alice.export_tag.raw());
+        assert_eq!(exits.len(), 1);
+        assert_eq!(exits[0].class, ExitClass::Owner);
+        assert_eq!(exits[0].app, None);
+        assert!(!exits[0].unguarded);
+        assert!(a.allowed(alice.export_tag.raw(), "devb/blog", &[ExitClass::Owner]));
+        assert!(!a.allowed(alice.export_tag.raw(), "devb/blog", &[ExitClass::Friends]));
+    }
+
+    #[test]
+    fn app_scoped_grant_opens_only_that_app() {
+        let p = world();
+        let alice = p.accounts.register("alice", "pw").unwrap();
+        p.policies.grant_declassifier(
+            alice.id,
+            "friends-only",
+            GrantScope::App("devb/blog".into()),
+        );
+        let a = Analysis::analyze(ConfigSnapshot::capture(&p));
+        let e = alice.export_tag.raw();
+        assert!(a.allowed(e, "devb/blog", &[ExitClass::Friends]));
+        assert!(!a.allowed(e, "mal/exfil", &[ExitClass::Friends]));
+        assert!(!a.allowed(e, "devb/blog", &[ExitClass::Strangers]));
+        // The friends exit records the app and the declassifier chain.
+        let f = a
+            .exits(e)
+            .iter()
+            .find(|x| x.class == ExitClass::Friends)
+            .expect("friends exit");
+        assert_eq!(f.app.as_deref(), Some("devb/blog"));
+        assert_eq!(f.via, vec!["friends-only".to_string()]);
+    }
+
+    #[test]
+    fn all_apps_grant_opens_every_app() {
+        let p = world();
+        let alice = p.accounts.register("alice", "pw").unwrap();
+        p.policies.grant_declassifier(alice.id, "public-read", GrantScope::AllApps);
+        let a = Analysis::analyze(ConfigSnapshot::capture(&p));
+        let e = alice.export_tag.raw();
+        for app in ["devb/blog", "mal/exfil"] {
+            assert!(a.allowed(e, app, &[ExitClass::Anonymous]));
+            assert!(a.allowed(e, app, &[ExitClass::Strangers]));
+        }
+    }
+
+    #[test]
+    fn unenforced_platform_leaks_everything_unguarded() {
+        let p = Platform::new("off", PlatformConfig { enforce_ifc: false, ..Default::default() });
+        let alice = p.accounts.register("alice", "pw").unwrap();
+        let a = Analysis::analyze(ConfigSnapshot::capture(&p));
+        let exits = a.exits(alice.export_tag.raw());
+        assert!(exits.iter().any(|x| x.class == ExitClass::Anonymous && x.unguarded));
+        assert!(a.allowed(alice.export_tag.raw(), "any/app", &[ExitClass::Anonymous]));
+    }
+
+    #[test]
+    fn dangling_grant_adds_no_exit() {
+        let p = world();
+        let alice = p.accounts.register("alice", "pw").unwrap();
+        p.policies.grant_declassifier(alice.id, "no-such-declassifier", GrantScope::AllApps);
+        let a = Analysis::analyze(ConfigSnapshot::capture(&p));
+        let exits = a.exits(alice.export_tag.raw());
+        assert_eq!(exits.len(), 1, "only the owner session should remain");
+        assert_eq!(exits[0].class, ExitClass::Owner);
+    }
+}

@@ -1,0 +1,47 @@
+//! # w5-analyze — static label-flow auditor for W5 configurations
+//!
+//! The W5 runtime (paper: *World Wide Web Without Walls*, HotNets 2007)
+//! enforces information flow control dynamically: every response crosses a
+//! perimeter that checks secrecy tags against user policy. This crate
+//! answers the question the runtime cannot: **before any request runs**,
+//! is the deployed configuration leak-free — and if not, which external
+//! principals can each user's data reach, through which declassifier
+//! chains?
+//!
+//! The pipeline:
+//!
+//! 1. [`ConfigSnapshot::capture`] freezes the security-relevant
+//!    configuration — tag universe, accounts, policies, app catalog,
+//!    declassifier catalog (with probed export breadth), and a label
+//!    census of both stores — into one serializable value.
+//! 2. [`FlowGraph::build`] turns it into an explicit graph whose edges
+//!    are exactly the flows the runtime would permit, and
+//!    [`FlowGraph::reach`] runs a per-tag fixed point producing
+//!    [`ExitInfo`]s: audience class × app × declassifier chain.
+//! 3. [`run_lints`] checks eight configuration smells (stable codes
+//!    `W5A001`–`W5A008`, see [`LINT_CATALOG`]).
+//!
+//! Three front ends consume this: the `w5lint` CLI binary (JSON and human
+//! output, CI exit codes), the [`AuditExt`] platform hook (registration-
+//! time audits recorded into the w5-obs ledger), and the differential
+//! oracle in `w5-sim`, which cross-checks every static verdict against
+//! the live perimeter.
+//!
+//! Soundness contract: the analysis may **over-approximate** reachability
+//! but must never report a configuration clean that the runtime would let
+//! leak (`DESIGN.md` §12).
+
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod graph;
+pub mod lints;
+pub mod snapshot;
+
+pub use audit::{AuditExt, AuditReport};
+pub use graph::{Analysis, EdgeKind, Edge, ExitClass, ExitInfo, FlowGraph, NodeKind};
+pub use lints::{run_lints, Finding, Severity, LINT_CATALOG};
+pub use snapshot::{
+    probe_breadth, AppSnap, Breadth, CensusEntry, ConfigSnapshot, DeclassSnap, GrantSnap,
+    LabelSnap, TagSnap, UserSnap,
+};

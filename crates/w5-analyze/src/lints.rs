@@ -1,0 +1,422 @@
+//! The lint catalog: eight configuration checks with stable codes.
+//!
+//! Each lint inspects the [`Analysis`] (snapshot + flow graph + per-tag
+//! reachability) and emits [`Finding`]s. Codes are stable across releases
+//! so CI policies can pin them; severities encode how directly the
+//! condition translates into a leak:
+//!
+//! | code   | name                 | severity | condition |
+//! |--------|----------------------|----------|-----------|
+//! | W5A001 | unguarded-exit       | error    | IFC enforcement disabled: tags reach exits with no perimeter check |
+//! | W5A002 | declass-widening     | error    | a wrapper declassifier releases to audiences its inner policy denies |
+//! | W5A003 | capability-escalation| error    | stored rows carry a secrecy tag whose `t-` is globally held |
+//! | W5A004 | dead-tag             | info     | a tag belongs to no account and labels no stored data |
+//! | W5A005 | ambient-integrity    | warning  | stored rows carry an integrity tag whose `t+` is globally held |
+//! | W5A006 | rate-limit-bypass    | warning  | a rate-limited grant has a sibling grant releasing the same audiences unmetered |
+//! | W5A007 | dangling-grant       | warning  | a grant names a declassifier absent from the registry |
+//! | W5A008 | covert-aggregate     | info     | a table mixes public and secret rows (counting-channel smell, paper §3.5) |
+
+use crate::graph::Analysis;
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+/// Finding severity, ordered `Info < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Hygiene: worth knowing, leaks nothing by itself.
+    Info,
+    /// A weakening of the intended policy or audit story.
+    Warning,
+    /// A configuration the runtime would let leak.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+// Manual impl: the wire format is the stable lowercase name, not the
+// variant identifier.
+impl Serialize for Severity {
+    fn to_json(&self) -> serde::Json {
+        serde::Json::Str(self.name().to_string())
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Severity {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Severity, String> {
+        match s {
+            "info" => Ok(Severity::Info),
+            "warning" => Ok(Severity::Warning),
+            "error" => Ok(Severity::Error),
+            other => Err(format!("unknown severity {other:?} (expected info|warning|error)")),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// Stable lint code, e.g. `"W5A002"`.
+    pub code: &'static str,
+    /// Lint name, e.g. `"declass-widening"`.
+    pub name: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// What the finding is about (tag name, declassifier, user, table).
+    pub subject: String,
+    /// Human-readable explanation with the evidence inline.
+    pub message: String,
+}
+
+/// The full catalog: `(code, name, severity, one-line description)`.
+pub const LINT_CATALOG: [(&str, &str, Severity, &str); 8] = [
+    (
+        "W5A001",
+        "unguarded-exit",
+        Severity::Error,
+        "IFC enforcement is disabled; labeled data exits without perimeter checks",
+    ),
+    (
+        "W5A002",
+        "declass-widening",
+        Severity::Error,
+        "a wrapper declassifier releases to audiences its inner policy denies",
+    ),
+    (
+        "W5A003",
+        "capability-escalation",
+        Severity::Error,
+        "stored rows carry a secrecy tag whose t- is globally held (any app can strip it)",
+    ),
+    ("W5A004", "dead-tag", Severity::Info, "tag belongs to no account and labels no stored data"),
+    (
+        "W5A005",
+        "ambient-integrity",
+        Severity::Warning,
+        "stored rows carry an integrity tag whose t+ is globally held (endorsement is forgeable)",
+    ),
+    (
+        "W5A006",
+        "rate-limit-bypass",
+        Severity::Warning,
+        "a rate-limited grant coexists with an unmetered sibling grant for the same audiences",
+    ),
+    (
+        "W5A007",
+        "dangling-grant",
+        Severity::Warning,
+        "a policy grant names a declassifier that is not registered",
+    ),
+    (
+        "W5A008",
+        "covert-aggregate",
+        Severity::Info,
+        "a table mixes public and secret rows; row counts leak through aggregates",
+    ),
+];
+
+fn finding(code: &'static str, subject: String, message: String) -> Finding {
+    let (_, name, severity, _) = LINT_CATALOG
+        .iter()
+        .find(|(c, _, _, _)| *c == code)
+        .copied()
+        .expect("lint code in catalog");
+    Finding { code, name, severity, subject, message }
+}
+
+/// Run every lint over an analysis. Findings are sorted most severe
+/// first, then by code and subject, and deduplicated.
+pub fn run_lints(a: &Analysis) -> Vec<Finding> {
+    let mut out: Vec<Finding> = Vec::new();
+    lint_unguarded_exit(a, &mut out);
+    lint_declass_widening(a, &mut out);
+    lint_capability_escalation(a, &mut out);
+    lint_dead_tag(a, &mut out);
+    lint_ambient_integrity(a, &mut out);
+    lint_rate_limit_bypass(a, &mut out);
+    lint_dangling_grant(a, &mut out);
+    lint_covert_aggregate(a, &mut out);
+    out.sort_by(|x, y| {
+        (std::cmp::Reverse(x.severity), x.code, &x.subject, &x.message).cmp(&(
+            std::cmp::Reverse(y.severity),
+            y.code,
+            &y.subject,
+            &y.message,
+        ))
+    });
+    out.dedup();
+    out
+}
+
+/// W5A001: the perimeter is disarmed. Every tag's reachability shows
+/// unguarded exits; report once with the blast radius.
+fn lint_unguarded_exit(a: &Analysis, out: &mut Vec<Finding>) {
+    if a.snapshot.enforce_ifc {
+        return;
+    }
+    let leaking = a
+        .snapshot
+        .tags
+        .iter()
+        .filter(|t| a.exits(t.raw).iter().any(|e| e.unguarded))
+        .count();
+    out.push(finding(
+        "W5A001",
+        format!("platform:{}", a.snapshot.platform),
+        format!(
+            "IFC enforcement is disabled: {leaking} of {} tags reach every audience class \
+             with no perimeter check; the deployment is a conventional shared host",
+            a.snapshot.tags.len()
+        ),
+    ));
+}
+
+/// W5A002: a wrapper's probed breadth exceeds its inner declassifier's.
+/// Honest combinators (rate limits, logging) can only narrow; widening
+/// means the wrapper ignores inner denials.
+fn lint_declass_widening(a: &Analysis, out: &mut Vec<Finding>) {
+    for d in &a.snapshot.declassifiers {
+        let Some(inner) = &d.inner_breadth else { continue };
+        let widened = d.breadth.widened_beyond(inner);
+        if widened.is_empty() {
+            continue;
+        }
+        out.push(finding(
+            "W5A002",
+            format!("declassifier:{}", d.name),
+            format!(
+                "chain [{}] releases to {{{}}} which its inner policy denies; a wrapper \
+                 may only narrow its inner declassifier",
+                d.chain.join(" -> "),
+                widened.join(", "),
+            ),
+        ));
+    }
+}
+
+/// W5A003: stored data is "protected" by a secrecy tag whose `t-` sits in
+/// the global bag — e.g. a WriteProtect tag used in a secrecy position.
+/// Any app can strip it before the perimeter looks, so the protection is
+/// vacuous and reads as an escalation primitive.
+fn lint_capability_escalation(a: &Analysis, out: &mut Vec<Finding>) {
+    let mut flagged: BTreeSet<u64> = BTreeSet::new();
+    for entry in &a.snapshot.census {
+        for &raw in &entry.labels.secrecy {
+            let Some(t) = a.snapshot.tag(raw) else { continue };
+            if t.global_minus && flagged.insert(raw) {
+                out.push(finding(
+                    "W5A003",
+                    format!("tag:{}", t.name),
+                    format!(
+                        "rows in {} carry secrecy tag {} ({} kind) whose t- is globally \
+                         held: any app can silently declassify it, the secrecy protection \
+                         is vacuous",
+                        entry.store, t.name, t.kind,
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// W5A004: a tag nobody owns and nothing carries. Harmless but usually a
+/// leftover from a failed registration or an attack probe.
+fn lint_dead_tag(a: &Analysis, out: &mut Vec<Finding>) {
+    let mut live: BTreeSet<u64> = BTreeSet::new();
+    for u in &a.snapshot.users {
+        live.insert(u.export_tag);
+        live.insert(u.write_tag);
+        live.extend(u.read_tag);
+    }
+    for entry in &a.snapshot.census {
+        live.extend(entry.labels.secrecy.iter().copied());
+        live.extend(entry.labels.integrity.iter().copied());
+    }
+    for t in &a.snapshot.tags {
+        if !live.contains(&t.raw) {
+            out.push(finding(
+                "W5A004",
+                format!("tag:{}", t.name),
+                format!(
+                    "tag {} ({} kind) belongs to no account and labels no stored data; \
+                     dead tags bloat the registry and may be leftovers of a failed probe",
+                    t.name, t.kind,
+                ),
+            ));
+        }
+    }
+}
+
+/// W5A005: stored rows claim an integrity endorsement anyone can mint
+/// (`t+` global — e.g. an ExportProtect tag in an integrity position).
+fn lint_ambient_integrity(a: &Analysis, out: &mut Vec<Finding>) {
+    let mut flagged: BTreeSet<u64> = BTreeSet::new();
+    for entry in &a.snapshot.census {
+        for &raw in &entry.labels.integrity {
+            let Some(t) = a.snapshot.tag(raw) else { continue };
+            if t.global_plus && flagged.insert(raw) {
+                out.push(finding(
+                    "W5A005",
+                    format!("tag:{}", t.name),
+                    format!(
+                        "rows in {} carry integrity tag {} ({} kind) whose t+ is globally \
+                         held: any process can forge the endorsement, so it certifies \
+                         nothing",
+                        entry.store, t.name, t.kind,
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// W5A006: a user metered one release path but left an unmetered sibling
+/// open to the same audiences for an overlapping app scope — the limit
+/// does not limit anything.
+fn lint_rate_limit_bypass(a: &Analysis, out: &mut Vec<Finding>) {
+    let breadth_of = |name: &str| {
+        a.snapshot.declassifiers.iter().find(|d| d.name == name).map(|d| (d, &d.breadth))
+    };
+    for u in &a.snapshot.users {
+        for limited in &u.grants {
+            let Some((ld, lb)) = breadth_of(&limited.declassifier) else { continue };
+            if !ld.chain.iter().any(|c| c == "rate-limited") {
+                continue;
+            }
+            for open in &u.grants {
+                if open.declassifier == limited.declassifier {
+                    continue;
+                }
+                let Some((od, ob)) = breadth_of(&open.declassifier) else { continue };
+                if od.chain.iter().any(|c| c == "rate-limited") {
+                    continue;
+                }
+                // Scopes overlap when equal or either side covers all apps.
+                let scopes_overlap = match (&limited.app, &open.app) {
+                    (None, _) | (_, None) => true,
+                    (Some(x), Some(y)) => x == y,
+                };
+                if !scopes_overlap {
+                    continue;
+                }
+                let shared = lb.overlap_excluding_owner(ob);
+                if shared.is_empty() {
+                    continue;
+                }
+                let scope = |g: &crate::snapshot::GrantSnap| {
+                    g.app.clone().unwrap_or_else(|| "*".to_string())
+                };
+                out.push(finding(
+                    "W5A006",
+                    format!("user:{}", u.username),
+                    format!(
+                        "grant of {} (scope {}) is rate-limited, but sibling grant of {} \
+                         (scope {}) releases the same audiences {{{}}} unmetered; the \
+                         budget is bypassable",
+                        limited.declassifier,
+                        scope(limited),
+                        open.declassifier,
+                        scope(open),
+                        shared.join(", "),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// W5A007: a grant references a declassifier the registry does not have.
+/// The perimeter will skip it silently, so the user's intended release
+/// policy is not in force.
+fn lint_dangling_grant(a: &Analysis, out: &mut Vec<Finding>) {
+    for u in &a.snapshot.users {
+        for g in &u.grants {
+            if a.snapshot.declassifiers.iter().any(|d| d.name == g.declassifier) {
+                continue;
+            }
+            out.push(finding(
+                "W5A007",
+                format!("user:{}", u.username),
+                format!(
+                    "grant names declassifier {:?} which is not registered; the perimeter \
+                     skips unknown declassifiers, so this policy clause has no effect",
+                    g.declassifier,
+                ),
+            ));
+        }
+    }
+}
+
+/// W5A008: a SQL table where public rows and secret rows cohabit. Counts
+/// and aggregates over the public slice move when secret rows change —
+/// the counting channel of paper §3.5.
+fn lint_covert_aggregate(a: &Analysis, out: &mut Vec<Finding>) {
+    let mut tables: BTreeSet<&str> = BTreeSet::new();
+    for entry in &a.snapshot.census {
+        tables.insert(entry.store.as_str());
+    }
+    for table in tables {
+        if !table.starts_with("sql:") {
+            continue;
+        }
+        let entries: Vec<_> =
+            a.snapshot.census.iter().filter(|e| e.store == table).collect();
+        let public: u64 =
+            entries.iter().filter(|e| e.labels.secrecy.is_empty()).map(|e| e.rows).sum();
+        let secret: u64 =
+            entries.iter().filter(|e| !e.labels.secrecy.is_empty()).map(|e| e.rows).sum();
+        if public > 0 && secret > 0 {
+            out.push(finding(
+                "W5A008",
+                format!("table:{}", &table[4..]),
+                format!(
+                    "{table} mixes {public} public row(s) with {secret} secret row(s); \
+                     aggregate queries over the public slice form a counting channel \
+                     (paper §3.5) — consider separate tables per secrecy domain",
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_order_and_parse() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!("error".parse::<Severity>().unwrap(), Severity::Error);
+        assert_eq!("warning".parse::<Severity>().unwrap(), Severity::Warning);
+        assert_eq!("info".parse::<Severity>().unwrap(), Severity::Info);
+        assert!("fatal".parse::<Severity>().is_err());
+    }
+
+    #[test]
+    fn catalog_codes_are_unique_and_sorted() {
+        let codes: Vec<&str> = LINT_CATALOG.iter().map(|(c, _, _, _)| *c).collect();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(codes, sorted);
+        assert_eq!(codes.len(), 8);
+    }
+}

@@ -22,6 +22,8 @@
 //! [`install_all`] publishes every manifest and installs every
 //! implementation on a platform instance.
 
+#![forbid(unsafe_code)]
+
 pub mod blog;
 pub mod dating;
 pub mod image;

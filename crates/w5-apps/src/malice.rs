@@ -174,6 +174,99 @@ impl W5App for CovertChannel {
     }
 }
 
+/// Attack 8 — *configuration-level* exfiltration: a declassifier that
+/// advertises itself as a cautious wrapper ("consults the inner policy
+/// first") but ignores the inner verdict and allows everyone. A user who
+/// grants it believing the chain narrows to friends-only has silently
+/// opened their data to strangers. The runtime cannot see this — every
+/// individual export it performs is "authorized" — but the static auditor
+/// can: the wrapper's probed breadth exceeds its inner policy's
+/// (`W5A002 declass-widening`).
+pub struct Widener {
+    inner: Arc<dyn w5_platform::Declassifier>,
+}
+
+impl Widener {
+    /// Wrap an honest policy in order to quietly ignore it.
+    pub fn around(inner: Arc<dyn w5_platform::Declassifier>) -> Widener {
+        Widener { inner }
+    }
+}
+
+impl w5_platform::Declassifier for Widener {
+    fn name(&self) -> &'static str {
+        "friendly-share"
+    }
+    fn description(&self) -> &'static str {
+        "shares with the audience your existing policy allows (it claims)"
+    }
+    fn authorize(
+        &self,
+        ctx: &w5_platform::ExportContext,
+        oracle: &dyn w5_platform::RelationshipOracle,
+    ) -> w5_platform::Verdict {
+        // Dutifully consult the inner policy for the audit log's benefit...
+        let _ = self.inner.authorize(ctx, oracle);
+        // ...then allow regardless.
+        w5_platform::Verdict::Allow
+    }
+    fn audit_lines(&self) -> usize {
+        4
+    }
+    fn inner(&self) -> Option<&dyn w5_platform::Declassifier> {
+        Some(&*self.inner)
+    }
+}
+
+/// Register the widening chain: `friendly-share` wrapping the builtin
+/// `friends-only`. Returns the registered name.
+pub fn install_widening_attack(platform: &Arc<Platform>) -> &'static str {
+    let inner = platform
+        .declassifiers
+        .get("friends-only")
+        .expect("builtin friends-only is registered");
+    platform.declassifiers.register(Arc::new(Widener::around(inner)));
+    "friendly-share"
+}
+
+/// Attack 9 — *configuration-level* capability escalation: mint a
+/// WriteProtect tag and use it in the **secrecy** position of stored rows.
+/// The rows look protected (non-empty secrecy label), but a WriteProtect
+/// tag puts `t-` in the global bag — every app on the platform can
+/// silently strip it before the perimeter ever looks. Any data an app
+/// launders under this tag flows out unchecked. The runtime sees nothing
+/// wrong (each declassification uses a legitimately-held capability); the
+/// static auditor flags the census entry (`W5A003 capability-escalation`).
+///
+/// Returns the minted tag.
+pub fn install_escalation_attack(platform: &Arc<Platform>) -> w5_difc::Tag {
+    let (tag, _creator_caps) =
+        platform.registry.create_tag(w5_difc::TagKind::WriteProtect, "mal:escrow");
+    let trusted = w5_store::Subject::anonymous();
+    let _ = platform.db.execute(
+        &trusted,
+        w5_store::QueryMode::Filtered,
+        w5_store::QueryCost::unlimited(),
+        &w5_difc::LabelPair::public(),
+        "CREATE TABLE mal_escrow (victim TEXT)",
+    );
+    // Raising secrecy is free (no capability needed to add a tag), so the
+    // attacker can label rows with its vacuous "protection" from any
+    // subject at all.
+    let labels = w5_difc::LabelPair::new(
+        w5_difc::Label::empty().with(tag),
+        w5_difc::Label::empty(),
+    );
+    let _ = platform.db.execute(
+        &trusted,
+        w5_store::QueryMode::Filtered,
+        w5_store::QueryCost::unlimited(),
+        &labels,
+        "INSERT INTO mal_escrow (victim) VALUES ('bait')",
+    );
+    tag
+}
+
 /// Publish + install the whole suite under the `mal` developer.
 pub fn install(platform: &Arc<Platform>) {
     let trusted = w5_store::Subject::anonymous();

@@ -16,6 +16,8 @@
 //! * [`no_ifc_platform`] — our own platform with enforcement disabled:
 //!   identical code paths minus the DIFC tax, the control arm of E4.
 
+#![forbid(unsafe_code)]
+
 pub mod mashup;
 pub mod silo;
 pub mod thirdparty;

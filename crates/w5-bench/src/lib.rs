@@ -8,6 +8,8 @@
 //!
 //! This library holds the helpers the binaries share.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 use w5_sim::Histogram;
 

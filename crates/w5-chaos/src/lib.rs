@@ -22,6 +22,8 @@
 //! instead handed an `Arc<Injector>` explicitly by the code that owns
 //! them.
 
+#![forbid(unsafe_code)]
+
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -16,6 +16,8 @@
 //!   CodeRank, with the naive popularity (in-degree) baseline experiment
 //!   E6 compares against.
 
+#![forbid(unsafe_code)]
+
 pub mod graph;
 pub mod rank;
 pub mod search;

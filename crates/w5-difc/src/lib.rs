@@ -31,6 +31,8 @@
 //! exhaustively tested: this is the component the paper argues must be
 //! correct so that nothing else needs to be trusted.
 
+#![forbid(unsafe_code)]
+
 pub mod caps;
 pub mod endpoint;
 pub mod error;

@@ -126,6 +126,15 @@ impl TagRegistry {
         private.contains(cap) || self.global.read().contains(cap)
     }
 
+    /// Metadata for every allocated tag, sorted by tag id. This is the
+    /// enumeration surface for configuration auditors (`w5-analyze`): a
+    /// stable, deterministic view of the whole tag universe.
+    pub fn all_meta(&self) -> Vec<TagMeta> {
+        let mut v: Vec<TagMeta> = self.meta.read().values().cloned().collect();
+        v.sort_by_key(|m| m.tag);
+        v
+    }
+
     /// Find a tag by its audit name. Linear scan — audit/debug use only.
     pub fn find_by_name(&self, name: &str) -> Option<Tag> {
         self.meta

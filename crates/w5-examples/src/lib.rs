@@ -9,3 +9,5 @@
 //! cargo run -p w5-examples --example federation_mirror
 //! cargo run -p w5-examples --example attack_demo
 //! ```
+
+#![forbid(unsafe_code)]

@@ -23,6 +23,8 @@
 //! Providers authenticate to each other with a shared peering secret —
 //! the "explicit peering arrangements" the paper sketches.
 
+#![forbid(unsafe_code)]
+
 pub mod agent;
 pub mod protocol;
 pub mod service;

@@ -25,6 +25,8 @@
 //! Nothing here uses wall-clock time or OS randomness: experiments are
 //! bit-for-bit reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod ids;
 pub mod kernel;
 pub mod message;

@@ -26,6 +26,8 @@
 //! trusted computing base legible, and the experiments measure platform
 //! overhead, not connection-scaling limits.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod cookie;
 pub mod dns;

@@ -144,6 +144,18 @@ pub enum EventKind {
         /// Total scripts/handlers/URLs removed.
         removed: u64,
     },
+    /// The static configuration auditor (`w5-analyze`) reported a finding,
+    /// e.g. at app-registration time.
+    AuditFinding {
+        /// Stable lint code, e.g. `"W5A002"`.
+        code: String,
+        /// Severity name (`"error"`, `"warning"`, `"info"`).
+        severity: String,
+        /// What the finding is about (tag name, declassifier, app key).
+        subject: String,
+        /// Human-readable finding.
+        message: String,
+    },
     // ---- net ----
     /// An HTTP request completed.
     HttpRequest {
@@ -198,7 +210,8 @@ impl EventKind {
             | EventKind::CapabilityUse { .. } => Layer::Difc,
             EventKind::ExportCheck { .. }
             | EventKind::DeclassifierInvoke { .. }
-            | EventKind::SanitizerRun { .. } => Layer::Platform,
+            | EventKind::SanitizerRun { .. }
+            | EventKind::AuditFinding { .. } => Layer::Platform,
             EventKind::HttpRequest { .. } | EventKind::RouteResolve { .. } => Layer::Net,
             EventKind::StoreRead { .. } | EventKind::StoreWrite { .. } => Layer::Store,
         }
@@ -214,6 +227,9 @@ impl EventKind {
             | EventKind::DeclassifierInvoke { allowed, .. }
             | EventKind::StoreRead { allowed, .. }
             | EventKind::StoreWrite { allowed, .. } => !allowed,
+            // Error-severity audit findings are config-level flow refusals:
+            // always written to the ring, never sampled away.
+            EventKind::AuditFinding { severity, .. } => severity == "error",
             _ => false,
         }
     }

@@ -22,6 +22,8 @@
 //! reserves ring writes for denials plus a deterministic 1-in-16 sample
 //! of passes.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod histogram;
 pub mod label;

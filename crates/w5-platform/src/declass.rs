@@ -75,6 +75,24 @@ pub trait Declassifier: Send + Sync {
     /// measured by experiment E5. By convention this is the line count of
     /// the `authorize` body.
     fn audit_lines(&self) -> usize;
+    /// The wrapped declassifier, for combinators like [`RateLimited`].
+    /// Leaf declassifiers return `None`. Static analysis (`w5-analyze`)
+    /// walks this to audit composed chains instead of treating wrappers
+    /// as opaque.
+    fn inner(&self) -> Option<&dyn Declassifier> {
+        None
+    }
+    /// The full wrapper chain, outermost first, e.g.
+    /// `["rate-limited", "friends-only"]`. Derived from [`Self::inner`].
+    fn describe_chain(&self) -> Vec<&'static str> {
+        let mut chain = vec![self.name()];
+        let mut cur = self.inner();
+        while let Some(d) = cur {
+            chain.push(d.name());
+            cur = d.inner();
+        }
+        chain
+    }
 }
 
 /// Allow only the data's owner. The boilerplate policy of §3.1: "Bob's
@@ -219,6 +237,9 @@ impl Declassifier for RateLimited {
     }
     fn audit_lines(&self) -> usize {
         12 + self.inner.audit_lines()
+    }
+    fn inner(&self) -> Option<&dyn Declassifier> {
+        Some(&*self.inner)
     }
 }
 
@@ -391,6 +412,50 @@ mod tests {
         assert_eq!(d.authorize(&ctx(1, Some(3)), &o), Verdict::Allow);
         d.reset();
         assert_eq!(d.authorize(&ctx(1, Some(2)), &o), Verdict::Allow);
+    }
+
+    #[test]
+    fn rate_limited_budget_is_per_viewer_and_per_owner() {
+        // Audit for the w5-analyze work: the budget key is the full
+        // (owner, viewer) pair, so no viewer can drain another viewer's
+        // budget, and the same viewer has independent budgets against
+        // different owners.
+        let d = RateLimited::new(Arc::new(PublicRead), 1);
+        let o = NoRelations;
+        assert_eq!(d.authorize(&ctx(1, Some(2)), &o), Verdict::Allow);
+        assert_eq!(d.authorize(&ctx(1, Some(2)), &o), Verdict::Deny, "viewer 2 spent");
+        // A different viewer of the same owner is unaffected.
+        assert_eq!(d.authorize(&ctx(1, Some(3)), &o), Verdict::Allow);
+        // The same viewer against a different owner is unaffected.
+        assert_eq!(d.authorize(&ctx(4, Some(2)), &o), Verdict::Allow);
+        // Anonymous viewers share one bucket per owner (None key).
+        assert_eq!(d.authorize(&ctx(1, None), &o), Verdict::Allow);
+        assert_eq!(d.authorize(&ctx(1, None), &o), Verdict::Deny);
+    }
+
+    #[test]
+    fn inner_denials_do_not_consume_budget() {
+        let d = RateLimited::new(Arc::new(OwnerOnly), 1);
+        let o = NoRelations;
+        // A stranger is denied by the inner policy; the owner's budget
+        // must still be intact afterwards.
+        assert_eq!(d.authorize(&ctx(1, Some(2)), &o), Verdict::Deny);
+        assert_eq!(d.authorize(&ctx(1, Some(1)), &o), Verdict::Allow);
+    }
+
+    #[test]
+    fn chains_are_introspectable() {
+        let leaf = FriendsOnly;
+        assert!(leaf.inner().is_none());
+        assert_eq!(leaf.describe_chain(), vec!["friends-only"]);
+        let wrapped = RateLimited::new(Arc::new(FriendsOnly), 3);
+        assert_eq!(wrapped.inner().unwrap().name(), "friends-only");
+        assert_eq!(wrapped.describe_chain(), vec!["rate-limited", "friends-only"]);
+        let double = RateLimited::new(Arc::new(RateLimited::new(Arc::new(PublicRead), 9)), 3);
+        assert_eq!(
+            double.describe_chain(),
+            vec!["rate-limited", "rate-limited", "public-read"]
+        );
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! * [`sanitize`] — perimeter JavaScript filtering (§3.5).
 //! * [`faultreport`] — label-safe debugging (§3.5).
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod appreg;
 pub mod crypto;

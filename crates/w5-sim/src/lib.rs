@@ -18,14 +18,18 @@
 //!
 //! Everything is seeded and deterministic.
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod depgraph;
+pub mod differential;
 pub mod population;
 pub mod socialgraph;
 pub mod table;
 pub mod workload;
 
 pub use chaos::{run_chaos, ChaosOutcome, ChaosSpec};
+pub use differential::{run_differential, DiffOutcome, DiffSpec};
 pub use w5_obs::{histogram, Histogram};
 pub use population::{build_population, PopulationConfig, World};
 pub use table::Table;

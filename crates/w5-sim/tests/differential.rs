@@ -1,0 +1,52 @@
+//! Static-vs-runtime differential: the w5-analyze flow graph must agree
+//! with the live perimeter on every probe, across randomized
+//! configurations. See `w5_sim::differential` for the harness.
+
+use proptest::prelude::*;
+use w5_sim::{run_differential, DiffSpec};
+
+/// Deterministic floor: 5 seeds × 40 probes = 200 probe comparisons,
+/// independent of the `PROPTEST_CASES` environment.
+#[test]
+fn fixed_seeds_zero_disagreements() {
+    let mut total_static = 0;
+    let mut total_runtime = 0;
+    for seed in 0..5u64 {
+        let out = run_differential(&DiffSpec { seed, probes: 40 });
+        assert!(
+            out.disagreements.is_empty(),
+            "seed {seed}: static/runtime split: {:#?}",
+            out.disagreements
+        );
+        total_static += out.static_allows;
+        total_runtime += out.runtime_allows;
+    }
+    // Sanity: the corpus must exercise both outcomes, or the comparison
+    // proves nothing.
+    assert!(total_static > 0, "no probe was ever allowed — corpus is degenerate");
+    assert_eq!(total_static, total_runtime);
+    assert!(total_static < 200, "every probe allowed — corpus is degenerate");
+}
+
+/// Determinism: same spec, same outcome (the harness is a pure function
+/// of the seed, which is what makes any future disagreement replayable).
+#[test]
+fn differential_is_deterministic() {
+    let a = run_differential(&DiffSpec { seed: 7, probes: 30 });
+    let b = run_differential(&DiffSpec { seed: 7, probes: 30 });
+    assert_eq!(a, b);
+}
+
+proptest! {
+    /// Property: for any seed, zero disagreements.
+    #[test]
+    fn static_and_runtime_agree(seed in 0u64..u64::MAX) {
+        let out = run_differential(&DiffSpec { seed, probes: 25 });
+        prop_assert!(
+            out.disagreements.is_empty(),
+            "seed {}: {:?}",
+            seed,
+            out.disagreements
+        );
+    }
+}

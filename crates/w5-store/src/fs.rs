@@ -286,6 +286,24 @@ impl LabeledFs {
     pub fn file_count(&self) -> usize {
         self.inner.read().len()
     }
+
+    /// Census of file labels: the distinct label pairs in use with their
+    /// file counts, sorted deterministically. Trusted accounting for
+    /// configuration audits (`w5-analyze`); reveals labels, never contents
+    /// or paths.
+    pub fn label_census(&self) -> Vec<(LabelPair, usize)> {
+        let inner = self.inner.read();
+        let mut counts: std::collections::HashMap<LabelPair, usize> = Default::default();
+        for f in inner.values() {
+            *counts.entry(f.labels.clone()).or_insert(0) += 1;
+        }
+        let mut entries: Vec<(LabelPair, usize)> = counts.into_iter().collect();
+        entries.sort_by(|a, b| {
+            (a.0.secrecy.as_slice(), a.0.integrity.as_slice())
+                .cmp(&(b.0.secrecy.as_slice(), b.0.integrity.as_slice()))
+        });
+        entries
+    }
 }
 
 #[cfg(test)]

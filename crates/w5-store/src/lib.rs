@@ -22,6 +22,8 @@
 //! platform from kernel state. The store itself never consults ambient
 //! authority.
 
+#![forbid(unsafe_code)]
+
 pub mod fs;
 pub mod sql;
 pub mod subject;

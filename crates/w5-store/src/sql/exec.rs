@@ -214,6 +214,35 @@ impl Database {
         self.tables.read().values().map(|t| t.rows.len()).sum()
     }
 
+    /// Per-table census of row labels: for each table, the distinct label
+    /// pairs stamped on its rows with their row counts, sorted
+    /// deterministically. Trusted accounting for configuration audits
+    /// (`w5-analyze`) — this reveals *which* labels exist, never row
+    /// contents, and is only reachable from platform-trusted code.
+    pub fn label_census(&self) -> Vec<(String, Vec<(LabelPair, usize)>)> {
+        let tables = self.tables.read();
+        let mut out: Vec<(String, Vec<(LabelPair, usize)>)> = tables
+            .iter()
+            .map(|(name, t)| {
+                let mut counts: HashMap<PairId, usize> = HashMap::new();
+                for row in &t.rows {
+                    *counts.entry(row.labels).or_insert(0) += 1;
+                }
+                let mut entries: Vec<(LabelPair, usize)> = counts
+                    .into_iter()
+                    .map(|(id, n)| (id.resolve(), n))
+                    .collect();
+                entries.sort_by(|a, b| {
+                    (a.0.secrecy.as_slice(), a.0.integrity.as_slice())
+                        .cmp(&(b.0.secrecy.as_slice(), b.0.integrity.as_slice()))
+                });
+                (name.clone(), entries)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     fn create_table(
         &self,
         name: &str,

@@ -1,1 +1,3 @@
 //! Carrier crate for repository-root `tests/`. See that directory.
+
+#![forbid(unsafe_code)]
