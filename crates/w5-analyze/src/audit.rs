@@ -133,7 +133,7 @@ impl AuditExt for Platform {
         let report = self.audit();
         for f in &report.findings {
             w5_obs::record(
-                ObsLabel::empty(),
+                &ObsLabel::empty(),
                 EventKind::AuditFinding {
                     code: f.code.to_string(),
                     severity: f.severity.name().to_string(),

@@ -346,7 +346,7 @@ fn main() {
             || {
                 // Current fast path: two id subset probes, same ledger tick.
                 let ok = intern::subset(isrc, idst) && intern::subset(int_id, int_id);
-                w5_obs::count_check("flow", ok, isrc.to_obs());
+                w5_obs::count_check("flow", ok, &isrc.to_obs());
                 std::hint::black_box(ok);
             },
         );

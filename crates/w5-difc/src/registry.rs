@@ -82,7 +82,7 @@ impl TagRegistry {
         // which *kind* was chosen shapes the global bag — worth a ledger
         // entry for audit.
         w5_obs::record(
-            w5_obs::ObsLabel::empty(),
+            &w5_obs::ObsLabel::empty(),
             w5_obs::EventKind::TagCreate {
                 tag: tag.raw(),
                 kind: match kind {

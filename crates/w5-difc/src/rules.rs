@@ -31,7 +31,7 @@ pub fn safe_change(from: &Label, to: &Label, caps: &CapSet) -> DifcResult<()> {
     // The flow the check describes carries the union of both labels: a
     // denial reveals something about where the subject stood *and* where
     // it tried to go.
-    w5_obs::count_check("change", result.is_ok(), from.union(to).to_obs());
+    w5_obs::count_check("change", result.is_ok(), &from.union(to).to_obs());
     result
 }
 
@@ -67,7 +67,7 @@ pub fn can_flow_with(s_src: &Label, o_src: &CapSet, s_dst: &Label, o_dst: &CapSe
         .filter(|&t| !s_dst.contains(t) && !o_dst.has_plus(t))
         .collect();
     let allowed = leaked.is_empty();
-    w5_obs::count_check("flow", allowed, s_src.to_obs());
+    w5_obs::count_check("flow", allowed, &s_src.to_obs());
     if allowed {
         Ok(())
     } else {
@@ -131,7 +131,7 @@ pub fn labels_for_read(subj: &LabelPair, caps: &CapSet, obj: &LabelPair) -> Flow
     let check = labels_for_read_unobserved(subj, caps, obj);
     // Reads move the object's data toward the subject: the described flow
     // carries the object's secrecy.
-    w5_obs::count_check("read", check.is_allowed(), obj.secrecy.to_obs());
+    w5_obs::count_check("read", check.is_allowed(), &obj.secrecy.to_obs());
     check
 }
 
@@ -178,7 +178,7 @@ pub fn labels_for_write(subj: &LabelPair, caps: &CapSet, obj: &LabelPair) -> Flo
     let check = labels_for_write_unobserved(subj, caps, obj);
     // Writes move the subject's data toward the object: the described flow
     // carries the subject's secrecy.
-    w5_obs::count_check("write", check.is_allowed(), subj.secrecy.to_obs());
+    w5_obs::count_check("write", check.is_allowed(), &subj.secrecy.to_obs());
     check
 }
 

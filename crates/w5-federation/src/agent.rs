@@ -126,10 +126,22 @@ impl SyncAgent {
         if w5_chaos::inject(w5_chaos::Site::FedPartition).is_some() {
             return Err(SyncError::Partitioned);
         }
+        // Root (or child) span for the pass; its context rides the wire so
+        // the peer's HTTP root span stitches under this tree.
+        let _span = w5_obs::span(
+            &format!("federation.pull {}", link.remote_user),
+            w5_obs::Layer::Net,
+            &w5_obs::ObsLabel::empty(),
+        );
+        let trace_header = w5_obs::current_context().map(|ctx| ctx.encode());
+        let mut headers: Vec<(&str, &str)> = vec![(FEDERATION_TOKEN_HEADER, &self.peer_token)];
+        if let Some(ctx) = trace_header.as_deref() {
+            headers.push((w5_obs::TRACE_HEADER, ctx));
+        }
         let path = format!("/federation/export?user={}", link.remote_user);
         let resp = self
             .client
-            .get_with_headers(peer_addr, &path, &[(FEDERATION_TOKEN_HEADER, &self.peer_token)])
+            .get_with_headers(peer_addr, &path, &headers)
             .map_err(|e| SyncError::Unreachable(e.to_string()))?;
         if !resp.status.is_success() {
             return Err(SyncError::Refused { status: resp.status.0, body: resp.body_string() });

@@ -55,12 +55,22 @@ impl FederationService {
         // interned id: per-entry selection is an integer compare.
         let export_secrecy =
             w5_difc::intern::intern(&w5_difc::Label::singleton(account.export_tag));
+        // Child of the server's HTTP root span (None when driven directly
+        // in tests); labeled with the union of everything exported.
+        let mut trace_span = w5_obs::span_if_active(
+            &format!("federation.export {username}"),
+            w5_obs::Layer::Net,
+            &w5_obs::ObsLabel::empty(),
+        );
         let mut records = Vec::new();
         let mut dict = crate::protocol::LabelDict::new();
         if let Ok(entries) = self.platform.fs.list_recursive(&subject, "/") {
             for meta in entries {
                 if w5_difc::intern::intern(&meta.labels.secrecy) == export_secrecy {
                     if let Ok((data, _)) = self.platform.fs.read(&subject, &meta.path) {
+                        if let Some(s) = trace_span.as_mut() {
+                            s.add_secrecy(&meta.labels.secrecy.to_obs());
+                        }
                         let mut rec = ExportRecord::new(&meta.path, meta.version, &data);
                         rec.label_ref = Some(dict.intern(&meta.labels));
                         records.push(rec);
@@ -68,6 +78,7 @@ impl FederationService {
                 }
             }
         }
+        drop(trace_span);
         let batch = ExportBatch {
             user: username.clone(),
             provider: self.platform.name.clone(),

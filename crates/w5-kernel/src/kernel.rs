@@ -155,6 +155,16 @@ impl Kernel {
         let id = ProcessId(self.next_pid.fetch_add(1, Ordering::Relaxed));
         let pair = labels.interned();
         let obs_secrecy = pair.secrecy.to_obs();
+        // Child span inside an active sampled trace (e.g. an app launch
+        // under `platform.invoke`); a single thread-local read otherwise.
+        let mut trace_span = w5_obs::span_if_active(
+            "kernel.create_process",
+            w5_obs::Layer::Kernel,
+            &w5_obs::ObsLabel::empty(),
+        );
+        if let Some(s) = trace_span.as_mut() {
+            s.add_secrecy(&obs_secrecy);
+        }
         let proc = Process {
             id,
             name: name.to_string(),
@@ -168,7 +178,7 @@ impl Kernel {
         };
         self.inner.lock().procs.insert(id, proc);
         w5_obs::record(
-            obs_secrecy,
+            &obs_secrecy,
             w5_obs::EventKind::ProcSpawn { pid: id.0, parent: 0, name: name.to_string() },
         );
         id
@@ -183,6 +193,14 @@ impl Kernel {
         if w5_chaos::inject(w5_chaos::Site::KernelSpawn).is_some() {
             return Err(KernelError::Injected(w5_chaos::Site::KernelSpawn.as_str()));
         }
+        // Child span only inside an already-sampled trace: outside one this
+        // is a single thread-local read. The label (the child's secrecy) is
+        // unioned in below, once it is interned anyway.
+        let mut trace_span = w5_obs::span_if_active(
+            "kernel.spawn",
+            w5_obs::Layer::Kernel,
+            &w5_obs::ObsLabel::empty(),
+        );
         let mut inner = self.inner.lock();
         let p = inner
             .procs
@@ -220,8 +238,11 @@ impl Kernel {
         };
         inner.procs.insert(id, child);
         drop(inner);
+        if let Some(s) = trace_span.as_mut() {
+            s.add_secrecy(&obs_secrecy);
+        }
         w5_obs::record(
-            obs_secrecy,
+            &obs_secrecy,
             w5_obs::EventKind::ProcSpawn { pid: id.0, parent: parent.0, name: child_name },
         );
         Ok(id)
@@ -279,7 +300,7 @@ impl Kernel {
         p.caps.extend(&creator_caps);
         drop(inner);
         w5_obs::record(
-            w5_obs::ObsLabel::empty(),
+            &w5_obs::ObsLabel::empty(),
             w5_obs::EventKind::TagGrant { pid: pid.0, tag: tag.raw() },
         );
         Ok(tag)
@@ -325,7 +346,7 @@ impl Kernel {
         }
         drop(inner);
         w5_obs::record(
-            w5_obs::ObsLabel::empty(),
+            &w5_obs::ObsLabel::empty(),
             w5_obs::EventKind::CapabilityUse {
                 pid: pid.0,
                 op: "drop".to_string(),
@@ -347,7 +368,7 @@ impl Kernel {
         p.caps.extend(caps);
         drop(inner);
         w5_obs::record(
-            w5_obs::ObsLabel::empty(),
+            &w5_obs::ObsLabel::empty(),
             w5_obs::EventKind::CapabilityUse {
                 pid: pid.0,
                 op: "grant".to_string(),
@@ -389,6 +410,13 @@ impl Kernel {
         if w5_chaos::inject(w5_chaos::Site::KernelSend).is_some() {
             return Err(KernelError::Injected(w5_chaos::Site::KernelSend.as_str()));
         }
+        // Child span only inside an already-sampled trace; the sender's
+        // secrecy is unioned in once snapshotted (below).
+        let mut trace_span = w5_obs::span_if_active(
+            "kernel.send",
+            w5_obs::Layer::Kernel,
+            &w5_obs::ObsLabel::empty(),
+        );
         let mut inner = self.inner.lock();
         inner.stats.sends_checked += 1;
         let registry = Arc::clone(&self.registry);
@@ -441,7 +469,7 @@ impl Kernel {
         let flow = if fast_ok {
             // Ledger parity with the slow path, which counts one "flow"
             // check inside `can_flow_with`.
-            w5_obs::count_check("flow", true, s_pair.secrecy.to_obs());
+            w5_obs::count_check("flow", true, &s_pair.secrecy.to_obs());
             Ok(())
         } else {
             let eff = match &s_eff {
@@ -463,10 +491,13 @@ impl Kernel {
         if let Err(e) = flow {
             inner.stats.sends_dropped += 1;
             drop(inner);
+            if let Some(s) = trace_span.as_mut() {
+                s.add_secrecy(&s_pair.secrecy.to_obs());
+            }
             // The drop itself is sender-labeled data: who tried to reach whom
             // is only visible to viewers cleared for the sender's secrecy.
             w5_obs::record(
-                s_pair.secrecy.to_obs(),
+                &s_pair.secrecy.to_obs(),
                 w5_obs::EventKind::IpcSend {
                     from: from.0,
                     to: to.0,
@@ -491,8 +522,11 @@ impl Kernel {
             q.state = ProcessState::Runnable;
         }
         drop(inner);
+        if let Some(s) = trace_span.as_mut() {
+            s.add_secrecy(&obs_secrecy);
+        }
         w5_obs::record(
-            obs_secrecy,
+            &obs_secrecy,
             w5_obs::EventKind::IpcSend { from: from.0, to: to.0, bytes: size, delivered: true },
         );
         Ok(())
@@ -515,7 +549,7 @@ impl Kernel {
                 p.caps.extend(&msg.grant);
                 drop(inner);
                 w5_obs::record(
-                    msg.labels.secrecy.to_obs(),
+                    &msg.labels.secrecy.to_obs(),
                     w5_obs::EventKind::IpcRecv { pid: pid.0, bytes: msg.payload.len() as u64 },
                 );
                 Ok(Some(msg))
@@ -648,7 +682,7 @@ impl Kernel {
             && w5_difc::intern::subset(p.pair.integrity, data_pair.integrity)
         {
             drop(inner);
-            w5_obs::count_check("read", true, data_pair.secrecy.to_obs());
+            w5_obs::count_check("read", true, &data_pair.secrecy.to_obs());
             return Ok(());
         }
         let eff = registry.effective(&p.caps);

@@ -151,7 +151,7 @@ impl Scheduler {
                             .map(|l| l.secrecy.to_obs())
                             .unwrap_or_default();
                         w5_obs::record(
-                            secrecy,
+                            &secrecy,
                             w5_obs::EventKind::ScheduleQuantum { pid: entry.pid.0, ticks: cost },
                         );
                         progressed = true;

@@ -94,7 +94,7 @@ impl<T: Clone> Router<T> {
         }
         let found = best.map(|(_, m)| m);
         w5_obs::record(
-            w5_obs::ObsLabel::empty(),
+            &w5_obs::ObsLabel::empty(),
             w5_obs::EventKind::RouteResolve { path: path.to_string(), matched: found.is_some() },
         );
         found

@@ -206,13 +206,27 @@ fn serve_connection(
         };
         let keep = request.keep_alive() && !stop.load(Ordering::SeqCst);
         let (method, path) = (request.method, request.path.clone());
+        // Root span per request; a wire-propagated trace context (e.g. a
+        // federation peer's `x-w5-trace`) stitches this server's tree under
+        // the caller's, including the caller's sampling decision.
+        let remote = request
+            .header(w5_obs::TRACE_HEADER)
+            .and_then(w5_obs::TraceContext::parse);
         let started = std::time::Instant::now();
-        let response = handler.handle(request, peer);
+        let response = {
+            let _span = w5_obs::span_with_remote(
+                &format!("net.http {method} {path}"),
+                w5_obs::Layer::Net,
+                &w5_obs::ObsLabel::empty(),
+                remote.as_ref(),
+            );
+            handler.handle(request, peer)
+        };
         let elapsed = started.elapsed();
         // The HTTP front end sees only the wire: request spans are public
         // (any label-bearing data is the platform's concern downstream).
         w5_obs::record(
-            w5_obs::ObsLabel::empty(),
+            &w5_obs::ObsLabel::empty(),
             w5_obs::EventKind::HttpRequest {
                 method: format!("{method}"),
                 path,

@@ -15,16 +15,16 @@ fn main() {
 
     for i in 0..3 {
         ledger.record(
-            ObsLabel::empty(),
+            &ObsLabel::empty(),
             EventKind::RouteResolve { path: format!("/app/photos/{i}"), matched: true },
         );
     }
     ledger.record(
-        secret.clone(),
+        &secret,
         EventKind::StoreRead { path: "/bob/diary".into(), bytes: 512, allowed: true },
     );
     ledger.record(
-        secret.clone(),
+        &secret,
         EventKind::ExportCheck { app: "devA/photos".into(), allowed: false, blocked_tags: 1 },
     );
     ledger.time("platform.export_check", &secret, std::time::Duration::from_micros(42));

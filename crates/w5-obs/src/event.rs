@@ -8,7 +8,9 @@
 use crate::label::ObsLabel;
 
 /// The stack layer an event originated from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Layer {
     /// Process table, IPC, scheduler (`w5-kernel`).
     Kernel,

@@ -23,12 +23,17 @@
 use crate::event::{Event, EventKind, Layer};
 use crate::histogram::{Histogram, HistogramSummary};
 use crate::label::ObsLabel;
+use crate::trace::{redact_spans, sample_decision, SpanRecord, TraceView};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Ring capacity (events retained for cleared viewers).
 const DEFAULT_RING_CAP: usize = 4096;
+
+/// Span ring capacity (completed spans retained for trace viewers).
+const DEFAULT_SPAN_CAP: usize = 4096;
 
 /// Redacted aggregates are republished every this many recorded events.
 pub const REFRESH_EVERY: u64 = 64;
@@ -76,6 +81,21 @@ pub struct Ledger {
     ring_cap: usize,
     latencies: Mutex<BTreeMap<String, LatencySeries>>,
     published: Mutex<Published>,
+    /// Completed spans, oldest first (see `crate::trace`).
+    spans: Mutex<VecDeque<SpanRecord>>,
+    span_cap: usize,
+    /// Spans recorded per layer (index = `Layer::index`), survives ring
+    /// eviction; mixed into `digest`.
+    span_counters: [AtomicU64; 5],
+    spans_recorded: AtomicU64,
+    /// Trace and span id allocator; 0 is reserved for "none".
+    ids: AtomicU64,
+    /// Head-based sampling: a trace is recorded iff
+    /// `sample_decision(trace, seed, threshold)`.
+    sample_threshold: AtomicU64,
+    sample_seed: AtomicU64,
+    /// Base for span timestamps (µs since this instant).
+    epoch: Instant,
 }
 
 impl Default for Ledger {
@@ -101,20 +121,28 @@ impl Ledger {
             ring_cap,
             latencies: Mutex::new(BTreeMap::new()),
             published: Mutex::new(Published { agg: Aggregate::default(), at: 0 }),
+            spans: Mutex::new(VecDeque::with_capacity(DEFAULT_SPAN_CAP.min(1024))),
+            span_cap: DEFAULT_SPAN_CAP,
+            span_counters: Default::default(),
+            spans_recorded: AtomicU64::new(0),
+            ids: AtomicU64::new(0),
+            sample_threshold: AtomicU64::new(u64::MAX),
+            sample_seed: AtomicU64::new(0),
+            epoch: Instant::now(),
         }
     }
 
     /// Record one event. Counters always tick; the event enters the ring.
-    pub fn record(&self, secrecy: ObsLabel, kind: EventKind) {
+    pub fn record(&self, secrecy: &ObsLabel, kind: EventKind) {
         let seq = self.count(&kind);
-        self.push_ring(Event { seq, secrecy, kind });
+        self.push_ring(Event { seq, secrecy: secrecy.clone(), kind });
     }
 
     /// Hot-path accounting for flow checks (`w5-difc::rules`). Counters
     /// always tick; denials are always written to the ring; passes are
     /// ring-sampled once per [`CHECK_SAMPLE`] checks so per-message rule
     /// evaluation stays a couple of atomic ops.
-    pub fn count_check(&self, op: &'static str, allowed: bool, secrecy: ObsLabel) {
+    pub fn count_check(&self, op: &'static str, allowed: bool, secrecy: &ObsLabel) {
         let nth = self.checks.fetch_add(1, Ordering::Relaxed);
         if allowed && !nth.is_multiple_of(CHECK_SAMPLE) {
             // Counters only.
@@ -222,11 +250,80 @@ impl Ledger {
         serde_json::to_string_pretty(&self.view(clearance))
     }
 
+    // ---- causal tracing (see `crate::trace`) ----
+
+    /// Microseconds since this ledger's epoch (span timestamp base).
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Allocate a fresh trace or span id (never 0). Ids are ledger-local
+    /// and, on a single-threaded scoped ledger, fully deterministic — the
+    /// chaos harness relies on that.
+    pub fn alloc_id(&self) -> u64 {
+        self.ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Configure head-based trace sampling: `rate` in `[0.0, 1.0]` (the
+    /// approximate fraction of traces recorded) and a seed. The decision
+    /// per trace is the pure function [`sample_decision`], so a replay
+    /// with the same seed samples the same traces.
+    pub fn set_trace_sampling(&self, rate: f64, seed: u64) {
+        let threshold = (rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+        self.sample_threshold.store(threshold, Ordering::Relaxed);
+        self.sample_seed.store(seed, Ordering::Relaxed);
+    }
+
+    /// The sampling decision for a trace id under the current config.
+    pub fn trace_sampled(&self, trace: u64) -> bool {
+        sample_decision(
+            trace,
+            self.sample_seed.load(Ordering::Relaxed),
+            self.sample_threshold.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Record one completed span. Counters always tick; the span enters
+    /// the bounded span ring.
+    pub fn record_span(&self, span: SpanRecord) {
+        self.span_counters[span.layer.index()].fetch_add(1, Ordering::Relaxed);
+        self.spans_recorded.fetch_add(1, Ordering::Relaxed);
+        let mut spans = self.spans.lock();
+        if spans.len() >= self.span_cap {
+            spans.pop_front();
+        }
+        spans.push_back(span);
+    }
+
+    /// Total spans recorded (all layers, including ring-evicted ones).
+    pub fn spans_recorded(&self) -> u64 {
+        self.spans_recorded.load(Ordering::Relaxed)
+    }
+
+    /// Read the span ring with the given clearance: spans the clearance
+    /// covers come back verbatim, everything else in redacted form (name
+    /// hidden, label hidden, timings floored — see
+    /// [`SpanRecord::redacted`]). This is the only trace path untrusted
+    /// viewers get.
+    pub fn trace_view(&self, clearance: &ObsLabel) -> TraceView {
+        let spans: Vec<SpanRecord> = self.spans.lock().iter().cloned().collect();
+        let (spans, redacted_spans) = redact_spans(&spans, clearance);
+        TraceView { clearance: clearance.clone(), spans, redacted_spans }
+    }
+
+    /// JSON export of a clearance-gated trace view (what `w5trace` reads).
+    pub fn traces_json(&self, clearance: &ObsLabel) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(&self.trace_view(clearance))
+    }
+
     /// A stable 64-bit digest (FNV-1a) over the ledger's observable state:
-    /// total events recorded, the per-layer counters, and every retained
-    /// ring event in order. Two runs that produced the same event stream
-    /// produce the same digest; the chaos harness uses this to prove that
-    /// a fault schedule replays bit-identically from its seed.
+    /// total events recorded, the per-layer counters, every retained ring
+    /// event in order, and the *structure* of every retained span (ids,
+    /// parent edges, names, layers, labels — everything except wall-clock
+    /// timestamps, which legitimately vary between replays). Two runs
+    /// that produced the same event and span streams produce the same
+    /// digest; the chaos harness uses this to prove that a fault schedule
+    /// replays bit-identically from its seed, tracing included.
     pub fn digest(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -252,6 +349,25 @@ impl Ledger {
             // EventKind serializes to JSON with a stable field order.
             let kind = serde_json::to_string(&e.kind).expect("event kinds always serialize");
             mix(&mut h, kind.as_bytes());
+        }
+        drop(ring);
+        mix(&mut h, &self.spans_recorded().to_le_bytes());
+        for (layer, counter) in Layer::ALL.iter().zip(&self.span_counters) {
+            mix(&mut h, layer.name().as_bytes());
+            mix(&mut h, &counter.load(Ordering::Relaxed).to_le_bytes());
+        }
+        let spans = self.spans.lock();
+        for s in spans.iter() {
+            mix(&mut h, &s.trace.to_le_bytes());
+            mix(&mut h, &s.id.to_le_bytes());
+            mix(&mut h, &s.parent.unwrap_or(0).to_le_bytes());
+            mix(&mut h, s.name.as_bytes());
+            mix(&mut h, s.layer.name().as_bytes());
+            for tag in s.secrecy.iter() {
+                mix(&mut h, &tag.to_le_bytes());
+            }
+            // Deliberately NOT start_us/end_us: wall time is the one
+            // thing a bit-identical replay cannot reproduce.
         }
         h
     }
@@ -326,8 +442,8 @@ mod tests {
     #[test]
     fn record_and_full_view() {
         let l = Ledger::new();
-        l.record(ObsLabel::empty(), spawn_kind(1));
-        l.record(ObsLabel::singleton(7), EventKind::StoreRead {
+        l.record(&ObsLabel::empty(), spawn_kind(1));
+        l.record(&ObsLabel::singleton(7), EventKind::StoreRead {
             path: "/photos/bob/cat.jpg".into(),
             bytes: 4,
             allowed: true,
@@ -348,10 +464,10 @@ mod tests {
         let l = Ledger::new();
         // 5 public events, 3 secret ones (tag 9).
         for i in 0..5 {
-            l.record(ObsLabel::empty(), spawn_kind(i));
+            l.record(&ObsLabel::empty(), spawn_kind(i));
         }
         for _ in 0..3 {
-            l.record(ObsLabel::singleton(9), EventKind::StoreRead {
+            l.record(&ObsLabel::singleton(9), EventKind::StoreRead {
                 path: "/diary/alice.txt".into(),
                 bytes: 10,
                 allowed: true,
@@ -382,17 +498,17 @@ mod tests {
     #[test]
     fn redacted_aggregate_is_rate_limited() {
         let l = Ledger::new();
-        l.record(ObsLabel::singleton(5), spawn_kind(0));
+        l.record(&ObsLabel::singleton(5), spawn_kind(0));
         let before = l.view(&ObsLabel::empty()).aggregate.clone();
         // Record fewer than REFRESH_EVERY further events: the published
         // snapshot must not move, no matter how often we poll.
         for i in 0..(REFRESH_EVERY - 2) {
-            l.record(ObsLabel::singleton(5), spawn_kind(i));
+            l.record(&ObsLabel::singleton(5), spawn_kind(i));
             assert_eq!(l.view(&ObsLabel::empty()).aggregate, before, "snapshot moved early");
         }
         // Crossing the refresh boundary (plus quantization slack) updates it.
         for i in 0..(REFRESH_EVERY + QUANTUM) {
-            l.record(ObsLabel::singleton(5), spawn_kind(i));
+            l.record(&ObsLabel::singleton(5), spawn_kind(i));
         }
         let after = l.view(&ObsLabel::empty()).aggregate;
         assert!(after.events["kernel"] > before.events["kernel"]);
@@ -403,7 +519,7 @@ mod tests {
     fn ring_evicts_oldest_first() {
         let l = Ledger::with_capacity(4);
         for i in 0..10 {
-            l.record(ObsLabel::empty(), spawn_kind(i));
+            l.record(&ObsLabel::empty(), spawn_kind(i));
         }
         let v = l.view(&ObsLabel::empty());
         assert_eq!(v.events.len(), 4);
@@ -424,10 +540,10 @@ mod tests {
     fn check_sampling_always_keeps_denials() {
         let l = Ledger::new();
         for _ in 0..100 {
-            l.count_check("flow", true, ObsLabel::empty());
+            l.count_check("flow", true, &ObsLabel::empty());
         }
         for _ in 0..3 {
-            l.count_check("flow", false, ObsLabel::singleton(2));
+            l.count_check("flow", false, &ObsLabel::singleton(2));
         }
         // Counters are exact.
         let agg = l.aggregate();
@@ -470,7 +586,7 @@ mod tests {
     #[test]
     fn snapshot_json_roundtrips() {
         let l = Ledger::new();
-        l.record(ObsLabel::empty(), EventKind::HttpRequest {
+        l.record(&ObsLabel::empty(), EventKind::HttpRequest {
             method: "GET".into(),
             path: "/app/photos".into(),
             status: 200,

@@ -29,12 +29,14 @@ pub mod histogram;
 pub mod label;
 pub mod ledger;
 pub mod snapshot;
+pub mod trace;
 
 pub use event::{Event, EventKind, Layer};
 pub use histogram::{Histogram, HistogramSummary};
 pub use label::ObsLabel;
 pub use ledger::{Aggregate, Ledger, LedgerView};
 pub use snapshot::{snapshot_json, Snapshot};
+pub use trace::{SpanRecord, TraceContext, TraceView, TRACE_HEADER};
 
 use std::cell::RefCell;
 use std::sync::{Arc, OnceLock};
@@ -83,7 +85,7 @@ fn current() -> Option<Arc<Ledger>> {
 /// must be the label of the *flow the event describes* (the data moved,
 /// the process scheduled, the response checked) — not the label of the
 /// code recording it.
-pub fn record(secrecy: ObsLabel, kind: EventKind) {
+pub fn record(secrecy: &ObsLabel, kind: EventKind) {
     match current() {
         Some(l) => l.record(secrecy, kind),
         None => global().record(secrecy, kind),
@@ -100,9 +102,212 @@ pub fn time(op: &str, secrecy: &ObsLabel, d: std::time::Duration) {
 
 /// Hot-path flow-check accounting on the current ledger (see
 /// [`Ledger::count_check`]).
-pub fn count_check(op: &'static str, allowed: bool, secrecy: ObsLabel) {
+pub fn count_check(op: &'static str, allowed: bool, secrecy: &ObsLabel) {
     match current() {
         Some(l) => l.count_check(op, allowed, secrecy),
         None => global().count_check(op, allowed, secrecy),
     }
+}
+
+/// Configure head-based trace sampling on the current ledger (see
+/// [`Ledger::set_trace_sampling`]).
+pub fn set_trace_sampling(rate: f64, seed: u64) {
+    match current() {
+        Some(l) => l.set_trace_sampling(rate, seed),
+        None => global().set_trace_sampling(rate, seed),
+    }
+}
+
+// ---- the thread-local span stack ----
+//
+// Spans nest lexically within a thread: `span()` makes the new span a
+// child of the innermost open one, or a fresh root (new trace id, head
+// sampling decision) when the stack is empty. Server threads start their
+// root from the wire's `TraceContext` via `span_with_remote`, which is
+// how cross-instance trees stitch. The guard records the completed
+// `SpanRecord` on drop — into the ledger that was current when the span
+// *started*, so a span never straddles two ledgers.
+
+/// A live entry on the thread's span stack.
+#[derive(Clone, Copy)]
+struct ActiveSpan {
+    trace: u64,
+    /// 0 when the trace is unsampled (no record will be written, so no
+    /// id is spent on it).
+    id: u64,
+    sampled: bool,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<ActiveSpan>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Where a span records on drop: the ledger captured at span start.
+enum Target {
+    Global,
+    Scoped(Arc<Ledger>),
+}
+
+impl Target {
+    fn capture() -> Target {
+        match current() {
+            Some(l) => Target::Scoped(l),
+            None => Target::Global,
+        }
+    }
+
+    fn ledger(&self) -> &Ledger {
+        match self {
+            Target::Global => global(),
+            Target::Scoped(l) => l,
+        }
+    }
+}
+
+/// Pending record data for a sampled span.
+struct OpenSpan {
+    target: Target,
+    trace: u64,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    layer: Layer,
+    secrecy: ObsLabel,
+    start_us: u64,
+}
+
+/// Closes its span on drop. Unsampled guards are inert (no timestamps,
+/// nothing recorded); they still hold the stack slot so descendants and
+/// outgoing wire contexts see a consistent trace.
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+    /// Guards pop a thread-local stack: keep them on the thread that
+    /// made them.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Union extra secrecy into the span's label, for operations whose
+    /// flow label is only known at the end (e.g. `platform.invoke` learns
+    /// the response label after the app ran).
+    pub fn add_secrecy(&mut self, extra: &ObsLabel) {
+        if let Some(open) = &mut self.open {
+            if !extra.is_subset(&open.secrecy) {
+                open.secrecy = open.secrecy.union(extra);
+            }
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        if let Some(open) = self.open.take() {
+            let ledger = open.target.ledger();
+            ledger.record_span(SpanRecord {
+                trace: open.trace,
+                id: open.id,
+                parent: open.parent,
+                name: open.name,
+                layer: open.layer,
+                secrecy: open.secrecy,
+                start_us: open.start_us,
+                end_us: ledger.now_us(),
+            });
+        }
+    }
+}
+
+fn push_span(
+    target: Target,
+    trace: u64,
+    parent: Option<u64>,
+    sampled: bool,
+    name: &str,
+    layer: Layer,
+    secrecy: &ObsLabel,
+) -> SpanGuard {
+    let open = if sampled {
+        let ledger = target.ledger();
+        let id = ledger.alloc_id();
+        let start_us = ledger.now_us();
+        SPAN_STACK.with(|s| s.borrow_mut().push(ActiveSpan { trace, id, sampled }));
+        Some(OpenSpan {
+            target,
+            trace,
+            id,
+            parent,
+            name: name.to_string(),
+            layer,
+            secrecy: secrecy.clone(),
+            start_us,
+        })
+    } else {
+        SPAN_STACK.with(|s| s.borrow_mut().push(ActiveSpan { trace, id: 0, sampled }));
+        None
+    };
+    SpanGuard { open, _not_send: std::marker::PhantomData }
+}
+
+/// Open a span: a child of the innermost open span on this thread, or a
+/// fresh root (new trace id, head sampling decision) when none is open.
+/// `secrecy` is the label of the flow the span times, like [`record`].
+pub fn span(name: &str, layer: Layer, secrecy: &ObsLabel) -> SpanGuard {
+    let target = Target::capture();
+    match SPAN_STACK.with(|s| s.borrow().last().copied()) {
+        Some(top) => {
+            let parent = (top.id != 0).then_some(top.id);
+            push_span(target, top.trace, parent, top.sampled, name, layer, secrecy)
+        }
+        None => {
+            let ledger = target.ledger();
+            let trace = ledger.alloc_id();
+            let sampled = ledger.trace_sampled(trace);
+            push_span(target, trace, None, sampled, name, layer, secrecy)
+        }
+    }
+}
+
+/// Open a root span continuing a remote trace (the server side of a wire
+/// hop). Falls back to [`span`] semantics when `remote` is absent or the
+/// thread already has an open span.
+pub fn span_with_remote(
+    name: &str,
+    layer: Layer,
+    secrecy: &ObsLabel,
+    remote: Option<&TraceContext>,
+) -> SpanGuard {
+    let local_top = SPAN_STACK.with(|s| s.borrow().last().copied());
+    match (remote, local_top) {
+        (Some(ctx), None) => {
+            let parent = (ctx.parent != 0).then_some(ctx.parent);
+            push_span(Target::capture(), ctx.trace, parent, ctx.sampled, name, layer, secrecy)
+        }
+        _ => span(name, layer, secrecy),
+    }
+}
+
+/// Open a child span only when this thread already has an open *sampled*
+/// trace; `None` otherwise. This is the hot-path form (kernel send/spawn):
+/// outside a sampled trace it is one thread-local read — no ids, no
+/// clocks, no allocation.
+pub fn span_if_active(name: &str, layer: Layer, secrecy: &ObsLabel) -> Option<SpanGuard> {
+    let top = SPAN_STACK.with(|s| s.borrow().last().copied())?;
+    if !top.sampled {
+        return None;
+    }
+    let parent = (top.id != 0).then_some(top.id);
+    Some(push_span(Target::capture(), top.trace, parent, true, name, layer, secrecy))
+}
+
+/// The wire context for an outgoing request from the current span, if a
+/// trace is open on this thread (`parent` = the innermost open span).
+pub fn current_context() -> Option<TraceContext> {
+    SPAN_STACK.with(|s| {
+        s.borrow()
+            .last()
+            .map(|top| TraceContext { trace: top.trace, parent: top.id, sampled: top.sampled })
+    })
 }

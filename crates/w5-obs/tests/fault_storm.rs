@@ -52,7 +52,7 @@ fn concurrent_storm_upholds_redaction_invariants() {
                 let mut rng = StdRng::seed_from_u64(1000 + t);
                 for _ in 0..4000 {
                     let (secrecy, kind) = storm_kind(&mut rng);
-                    l.record(secrecy, kind);
+                    l.record(&secrecy, kind);
                 }
             })
         })
@@ -73,7 +73,10 @@ fn concurrent_storm_upholds_redaction_invariants() {
                 ];
                 let mut i = t as usize;
                 let mut views = 0u32;
-                while !stop.load(Ordering::Relaxed) {
+                // Stop is checked at the bottom: every viewer takes at
+                // least one view even if the writers win the scheduling
+                // race and finish before this thread first runs.
+                loop {
                     let clearance = &clearances[i % clearances.len()];
                     i += 1;
                     let v = l.view(clearance);
@@ -93,6 +96,9 @@ fn concurrent_storm_upholds_redaction_invariants() {
                         }
                     }
                     views += 1;
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
                 }
                 views
             })
@@ -128,7 +134,7 @@ fn digest_is_stable_under_replay_and_sensitive_to_any_event() {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..n {
             let (s, k) = storm_kind(&mut rng);
-            l.record(s, k);
+            l.record(&s, k);
         }
         l.digest()
     };

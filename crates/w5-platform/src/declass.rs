@@ -288,9 +288,14 @@ impl DeclassifierRegistry {
         secrecy: &w5_obs::ObsLabel,
     ) -> Option<Verdict> {
         let d = self.get(name)?;
+        let _span = w5_obs::span(
+            &format!("platform.declass.{name}"),
+            w5_obs::Layer::Platform,
+            secrecy,
+        );
         let verdict = d.authorize(ctx, oracle);
         w5_obs::record(
-            secrecy.clone(),
+            secrecy,
             w5_obs::EventKind::DeclassifierInvoke {
                 name: name.to_string(),
                 allowed: verdict == Verdict::Allow,

@@ -144,6 +144,8 @@ impl Exporter {
         // for the dominant public-response case this is an alloc-free
         // inline copy.
         let obs_secrecy = labels.secrecy.to_obs();
+        let _span =
+            w5_obs::span("platform.export_check", w5_obs::Layer::Platform, &obs_secrecy);
         let mut cleared = Vec::new();
         let mut blocked = Vec::new();
 
@@ -203,7 +205,7 @@ impl Exporter {
         // export names the tags that blocked it, which is exactly the data
         // the perimeter refused to release.
         w5_obs::record(
-            obs_secrecy.clone(),
+            &obs_secrecy,
             w5_obs::EventKind::ExportCheck {
                 app: app.to_string(),
                 allowed,

@@ -273,6 +273,14 @@ impl Platform {
     ) -> InvokeResult {
         self.stats.invocations.fetch_add(1, Ordering::Relaxed);
         let invoke_started = std::time::Instant::now();
+        // Child of the gateway's HTTP root span when reached over the wire,
+        // a fresh trace root when driven directly (benchmarks, tests). The
+        // response labels are only known at the end — unioned in below.
+        let mut trace_span = Some(w5_obs::span(
+            &format!("platform.invoke {app_key}"),
+            w5_obs::Layer::Platform,
+            &w5_obs::ObsLabel::empty(),
+        ));
 
         let Some(manifest) = self.resolve_manifest(viewer, app_key) else {
             return error_result(404, "no such application");
@@ -395,12 +403,14 @@ impl Platform {
         let _ = self.kernel.exit(pid);
         let _ = self.kernel.reap(pid);
         // Invocation latency is labeled with the labels the instance ended
-        // with: a tainted app's timing profile is tainted data.
-        w5_obs::time(
-            "platform.invoke",
-            &result.labels.secrecy.to_obs(),
-            invoke_started.elapsed(),
-        );
+        // with: a tainted app's timing profile is tainted data. The span
+        // carries the same label before it closes.
+        let result_secrecy = result.labels.secrecy.to_obs();
+        if let Some(s) = trace_span.as_mut() {
+            s.add_secrecy(&result_secrecy);
+        }
+        drop(trace_span.take());
+        w5_obs::time("platform.invoke", &result_secrecy, invoke_started.elapsed());
         result
     }
 

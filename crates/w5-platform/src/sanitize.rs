@@ -56,9 +56,10 @@ pub fn sanitize_html_labeled(
     input: &str,
     secrecy: &w5_obs::ObsLabel,
 ) -> (String, SanitizeStats) {
+    let _span = w5_obs::span("platform.sanitize", w5_obs::Layer::Platform, secrecy);
     let (out, stats) = sanitize_html(input);
     w5_obs::record(
-        secrecy.clone(),
+        secrecy,
         w5_obs::EventKind::SanitizerRun { removed: stats.total() as u64 },
     );
     (out, stats)

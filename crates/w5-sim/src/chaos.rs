@@ -75,6 +75,9 @@ pub struct ChaosOutcome {
     pub blocked: u32,
     /// Responses degraded to 503 by injected faults.
     pub degraded: u32,
+    /// Spans the run's tracer recorded (span structure is part of the
+    /// digest; timestamps are not).
+    pub spans: u64,
 }
 
 fn sentinel(u: usize) -> String {
@@ -342,7 +345,15 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosOutcome {
     }
 
     let faults = injector.report();
-    ChaosOutcome { digest: ledger.digest(), violations, faults, delivered, blocked, degraded }
+    ChaosOutcome {
+        digest: ledger.digest(),
+        violations,
+        faults,
+        delivered,
+        blocked,
+        degraded,
+        spans: ledger.spans_recorded(),
+    }
 }
 
 /// Classify one response and check the fail-closed body invariants.
@@ -390,6 +401,20 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.violations.is_empty(), "{:?}", a.violations);
         assert!(a.faults.total_injected() > 0, "storm must actually fire");
+    }
+
+    #[test]
+    fn tracing_replays_bit_identically() {
+        // The private ledger head-samples everything by default, so the
+        // storm records real spans — and the digest (which mixes span
+        // structure but not wall-clock timestamps) must still replay
+        // bit-identically from the seed.
+        let spec = ChaosSpec { seed: 11, steps: 200, fault_rate: 0.1 };
+        let a = run_chaos(&spec);
+        let b = run_chaos(&spec);
+        assert!(a.spans > 0, "tracing recorded nothing during the storm");
+        assert_eq!(a.digest, b.digest, "span-bearing digests must replay");
+        assert_eq!(a, b);
     }
 
     #[test]

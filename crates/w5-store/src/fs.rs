@@ -29,7 +29,7 @@ fn ledger_access(path: &str, bytes: u64, labels: &LabelPair, write: bool, allowe
     } else {
         w5_obs::EventKind::StoreRead { path: path.to_string(), bytes, allowed }
     };
-    w5_obs::record(labels.secrecy.to_obs(), kind);
+    w5_obs::record(&labels.secrecy.to_obs(), kind);
 }
 
 /// Filesystem errors.
