@@ -1,0 +1,88 @@
+//! The kernel system-call surface as a trait.
+//!
+//! [`Syscalls`] abstracts over the two kernel implementations in this
+//! crate — the sharded [`crate::Kernel`] and the single-lock
+//! [`crate::reference::ReferenceKernel`] — so the differential
+//! concurrency oracle in `w5-sim` can replay one seeded operation
+//! schedule against both and compare every observable: final labels,
+//! capability bags, mailbox depths, flow-decision counters, ledger
+//! aggregates.
+//!
+//! The trait deliberately covers only the syscalls a process (or the
+//! platform acting for one) can issue. Trusted plumbing that is an
+//! implementation detail of one kernel or the other (shard counts,
+//! epoch refill, resource charging internals) stays on the concrete
+//! types.
+
+use crate::ids::ProcessId;
+use crate::kernel::{Delivery, KernelResult, KernelStats, SpawnSpec};
+use crate::message::Message;
+use crate::process::ProcessInfo;
+use crate::resource::ResourceLimits;
+use bytes::Bytes;
+use std::sync::Arc;
+use w5_difc::{CapSet, LabelPair, Tag, TagKind, TagRegistry};
+
+/// The kernel syscall surface shared by [`crate::Kernel`] and
+/// [`crate::reference::ReferenceKernel`].
+///
+/// `Send + Sync` is part of the contract: the differential oracle calls
+/// these from real OS threads.
+pub trait Syscalls: Send + Sync {
+    /// The shared tag registry.
+    fn registry(&self) -> &Arc<TagRegistry>;
+    /// Trusted process creation at arbitrary labels.
+    fn create_process(
+        &self,
+        name: &str,
+        labels: LabelPair,
+        caps: CapSet,
+        limits: ResourceLimits,
+    ) -> ProcessId;
+    /// Spawn a child under Flume's spawn rules.
+    fn spawn(&self, parent: ProcessId, spec: SpawnSpec) -> KernelResult<ProcessId>;
+    /// Snapshot of a process's public metadata.
+    fn process_info(&self, pid: ProcessId) -> KernelResult<ProcessInfo>;
+    /// Current labels of a process.
+    fn labels(&self, pid: ProcessId) -> KernelResult<LabelPair>;
+    /// The process's private capability bag.
+    fn caps(&self, pid: ProcessId) -> KernelResult<CapSet>;
+    /// Create a tag on behalf of a process.
+    fn create_tag(&self, pid: ProcessId, kind: TagKind, name: &str) -> KernelResult<Tag>;
+    /// Change a process's own labels (safe-change rule).
+    fn change_labels(&self, pid: ProcessId, new: LabelPair) -> KernelResult<()>;
+    /// Permanently drop capabilities from the private bag.
+    fn drop_caps(&self, pid: ProcessId, caps: &CapSet) -> KernelResult<()>;
+    /// Add capabilities to the private bag (trusted entry point).
+    fn grant_caps(&self, pid: ProcessId, caps: &CapSet) -> KernelResult<()>;
+    /// Send with silent-drop semantics.
+    fn send(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: Bytes,
+        grant: CapSet,
+    ) -> KernelResult<Delivery>;
+    /// Send with the flow decision surfaced (trusted callers only).
+    fn send_strict(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: Bytes,
+        grant: CapSet,
+    ) -> KernelResult<()>;
+    /// Dequeue the next message, merging any grant.
+    fn recv(&self, pid: ProcessId) -> KernelResult<Option<Message>>;
+    /// Taint-on-read: raise the process's labels to admit `data`.
+    fn taint_for_read(&self, pid: ProcessId, data: &LabelPair) -> KernelResult<()>;
+    /// Would a write to an object labeled `obj` be admissible?
+    fn check_write(&self, pid: ProcessId, obj: &LabelPair) -> KernelResult<()>;
+    /// Terminate a process.
+    fn exit(&self, pid: ProcessId) -> KernelResult<()>;
+    /// Remove a dead process from the table.
+    fn reap(&self, pid: ProcessId) -> KernelResult<()>;
+    /// Number of live (non-dead) processes.
+    fn live_processes(&self) -> usize;
+    /// Flow-decision counters.
+    fn stats(&self) -> KernelStats;
+}

@@ -5,13 +5,41 @@
 //! through the platform's API object, which passes their [`ProcessId`]
 //! along so every operation is checked against *their* labels, not the
 //! platform's.
+//!
+//! # Sharding
+//!
+//! Process state is striped across N lock shards (N a power of two,
+//! default [`DEFAULT_SHARDS`]); a process lives in shard
+//! `pid & (N - 1)`. Every syscall that touches one process locks only
+//! that process's shard, so syscalls against different shards proceed in
+//! parallel on different cores. The flow-check fast path reads interned
+//! labels ([`w5_difc::intern`]) whose subset cache is lock-free, so the
+//! dominant send shape costs two shard locks and zero further
+//! synchronization.
+//!
+//! Cross-process sends need the sender's and receiver's shards at once.
+//! The single lock-ordering rule that keeps the kernel deadlock-free:
+//! **two shard locks are only ever held together when acquired in
+//! ascending shard-index order** (see `lock_pair`). `spawn` respects it
+//! by never holding parent and child shards simultaneously — the child
+//! pid is invisible to every other thread until inserted, so the parent
+//! guard is dropped first and the spawn linearizes at validation time.
+//!
+//! Flow-decision counters ([`KernelStats`]) are relaxed atomics: exact
+//! totals, no ordering claims between counters — same observability as
+//! the old `stats` struct behind the global lock, minus the lock.
+//!
+//! The pre-sharding single-lock kernel survives verbatim as
+//! [`crate::reference::ReferenceKernel`]; `w5-sim`'s differential
+//! concurrency oracle replays identical seeded schedules against both
+//! and asserts identical observable state.
 
 use crate::ids::ProcessId;
 use crate::message::Message;
 use crate::process::{Process, ProcessInfo, ProcessState};
 use crate::resource::{QuotaExceeded, ResourceContainer, ResourceKind, ResourceLimits, ResourceUsage};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -110,36 +138,136 @@ pub struct KernelStats {
     pub label_changes_denied: u64,
 }
 
-struct Inner {
-    procs: HashMap<ProcessId, Process>,
-    stats: KernelStats,
+/// Default shard count for [`Kernel::new`]. Power of two; enough stripes
+/// that 8 worker threads rarely collide, small enough that
+/// `live_processes`-style sweeps stay cheap.
+pub const DEFAULT_SHARDS: usize = 16;
+
+type ProcMap = HashMap<ProcessId, Process>;
+
+struct Shard {
+    procs: Mutex<ProcMap>,
 }
 
-/// The simulated DIFC kernel. Cheap to share: `Kernel` is `Clone` and all
-/// clones view the same machine.
+struct Shared {
+    registry: Arc<TagRegistry>,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard count is always a power of two.
+    shard_mask: usize,
+    next_pid: AtomicU64,
+    sends_checked: AtomicU64,
+    sends_dropped: AtomicU64,
+    label_changes: AtomicU64,
+    label_changes_denied: AtomicU64,
+}
+
+/// Both shards involved in a cross-process operation, acquired in
+/// ascending shard-index order (the kernel-wide lock-ordering rule).
+/// For a same-shard pair only one guard exists and both accessors
+/// return it.
+struct TwoShards<'a> {
+    first: MutexGuard<'a, ProcMap>,
+    second: Option<MutexGuard<'a, ProcMap>>,
+    sender_is_first: bool,
+}
+
+impl TwoShards<'_> {
+    fn sender(&mut self) -> &mut ProcMap {
+        if self.sender_is_first {
+            &mut self.first
+        } else {
+            self.second.as_mut().expect("second guard present when sender is not first")
+        }
+    }
+
+    fn receiver(&mut self) -> &mut ProcMap {
+        if self.sender_is_first {
+            match self.second.as_mut() {
+                Some(g) => g,
+                None => &mut self.first, // same shard
+            }
+        } else {
+            &mut self.first
+        }
+    }
+}
+
+/// The simulated DIFC kernel, sharded for multi-core scaling. Cheap to
+/// share: `Kernel` is `Clone` and all clones view the same machine.
 #[derive(Clone)]
 pub struct Kernel {
-    registry: Arc<TagRegistry>,
-    inner: Arc<Mutex<Inner>>,
-    next_pid: Arc<AtomicU64>,
+    shared: Arc<Shared>,
 }
 
 impl Kernel {
-    /// A fresh machine sharing the given tag registry.
+    /// A fresh machine sharing the given tag registry, with
+    /// [`DEFAULT_SHARDS`] lock shards.
     pub fn new(registry: Arc<TagRegistry>) -> Kernel {
+        Kernel::with_shards(DEFAULT_SHARDS, registry)
+    }
+
+    /// A fresh machine with at least `shards` lock shards (rounded up to
+    /// a power of two, minimum 1). `with_shards(1, ..)` degenerates to
+    /// the single-lock kernel — useful for pinning down shard-related
+    /// bugs.
+    pub fn with_shards(shards: usize, registry: Arc<TagRegistry>) -> Kernel {
+        let n = shards.max(1).next_power_of_two();
+        let shards: Box<[Shard]> = (0..n)
+            .map(|_| Shard { procs: Mutex::new(HashMap::new()) })
+            .collect();
         Kernel {
-            registry,
-            inner: Arc::new(Mutex::new(Inner {
-                procs: HashMap::new(),
-                stats: KernelStats::default(),
-            })),
-            next_pid: Arc::new(AtomicU64::new(1)),
+            shared: Arc::new(Shared {
+                registry,
+                shards,
+                shard_mask: n - 1,
+                next_pid: AtomicU64::new(1),
+                sends_checked: AtomicU64::new(0),
+                sends_dropped: AtomicU64::new(0),
+                label_changes: AtomicU64::new(0),
+                label_changes_denied: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of lock shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    #[inline]
+    fn shard_ix(&self, pid: ProcessId) -> usize {
+        pid.0 as usize & self.shared.shard_mask
+    }
+
+    #[inline]
+    fn shard(&self, pid: ProcessId) -> MutexGuard<'_, ProcMap> {
+        self.shared.shards[self.shard_ix(pid)].procs.lock()
+    }
+
+    /// Lock the shards of `from` and `to` in ascending shard-index order.
+    fn lock_pair(&self, from: ProcessId, to: ProcessId) -> TwoShards<'_> {
+        let fi = self.shard_ix(from);
+        let ti = self.shard_ix(to);
+        if fi == ti {
+            TwoShards {
+                first: self.shared.shards[fi].procs.lock(),
+                second: None,
+                sender_is_first: true,
+            }
+        } else if fi < ti {
+            let first = self.shared.shards[fi].procs.lock();
+            let second = Some(self.shared.shards[ti].procs.lock());
+            TwoShards { first, second, sender_is_first: true }
+        } else {
+            let first = self.shared.shards[ti].procs.lock();
+            let second = Some(self.shared.shards[fi].procs.lock());
+            TwoShards { first, second, sender_is_first: false }
         }
     }
 
     /// The shared tag registry.
     pub fn registry(&self) -> &Arc<TagRegistry> {
-        &self.registry
+        &self.shared.registry
     }
 
     /// Trusted process creation (used by the platform for launchers,
@@ -152,7 +280,7 @@ impl Kernel {
         caps: CapSet,
         limits: ResourceLimits,
     ) -> ProcessId {
-        let id = ProcessId(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        let id = ProcessId(self.shared.next_pid.fetch_add(1, Ordering::Relaxed));
         let pair = labels.interned();
         let obs_secrecy = pair.secrecy.to_obs();
         // Child span inside an active sampled trace (e.g. an app launch
@@ -176,7 +304,7 @@ impl Kernel {
             container: ResourceContainer::new(limits),
             parent: None,
         };
-        self.inner.lock().procs.insert(id, proc);
+        self.shard(id).insert(id, proc);
         w5_obs::record(
             &obs_secrecy,
             w5_obs::EventKind::ProcSpawn { pid: id.0, parent: 0, name: name.to_string() },
@@ -201,9 +329,9 @@ impl Kernel {
             w5_obs::Layer::Kernel,
             &w5_obs::ObsLabel::empty(),
         );
-        let mut inner = self.inner.lock();
-        let p = inner
-            .procs
+        let parent_ix = self.shard_ix(parent);
+        let mut pguard = self.shared.shards[parent_ix].procs.lock();
+        let p = pguard
             .get(&parent)
             .ok_or(KernelError::NoSuchProcess(parent))?;
         if p.state == ProcessState::Dead {
@@ -215,14 +343,17 @@ impl Kernel {
         // and capability algebra are skipped entirely.
         let spec_pair = spec.labels.interned();
         if spec_pair != p.pair || !spec.grant.is_empty() {
-            let eff = self.registry.effective(&p.caps);
+            let eff = self.shared.registry.effective(&p.caps);
             rules::safe_change(&p.labels.secrecy, &spec.labels.secrecy, &eff)?;
             rules::safe_change(&p.labels.integrity, &spec.labels.integrity, &eff)?;
             if !spec.grant.is_subset(&eff) {
                 return Err(KernelError::GrantNotHeld);
             }
         }
-        let id = ProcessId(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        // Pid allocated only *after* validation, so denied spawns do not
+        // perturb the pid stream (the differential oracle compares pid
+        // sequences against the reference kernel).
+        let id = ProcessId(self.shared.next_pid.fetch_add(1, Ordering::Relaxed));
         let obs_secrecy = spec_pair.secrecy.to_obs();
         let child_name = spec.name.clone();
         let child = Process {
@@ -236,8 +367,20 @@ impl Kernel {
             container: ResourceContainer::new(spec.limits),
             parent: Some(parent),
         };
-        inner.procs.insert(id, child);
-        drop(inner);
+        let child_ix = self.shard_ix(id);
+        if child_ix == parent_ix {
+            pguard.insert(id, child);
+            drop(pguard);
+        } else {
+            // Lock-ordering rule: two shard locks are only ever held
+            // together via `lock_pair`'s ascending order. Rather than
+            // sort parent/child here, drop the parent guard first — the
+            // fresh pid is invisible to every other thread until the
+            // insert below, so the spawn linearizes at validation and no
+            // intermediate state can be observed.
+            drop(pguard);
+            self.shared.shards[child_ix].procs.lock().insert(id, child);
+        }
         if let Some(s) = trace_span.as_mut() {
             s.add_secrecy(&obs_secrecy);
         }
@@ -250,9 +393,7 @@ impl Kernel {
 
     /// Snapshot of a process's public metadata.
     pub fn process_info(&self, pid: ProcessId) -> KernelResult<ProcessInfo> {
-        let inner = self.inner.lock();
-        inner
-            .procs
+        self.shard(pid)
             .get(&pid)
             .map(Process::info)
             .ok_or(KernelError::NoSuchProcess(pid))
@@ -260,9 +401,7 @@ impl Kernel {
 
     /// Current labels of a process.
     pub fn labels(&self, pid: ProcessId) -> KernelResult<LabelPair> {
-        let inner = self.inner.lock();
-        inner
-            .procs
+        self.shard(pid)
             .get(&pid)
             .map(|p| p.labels.clone())
             .ok_or(KernelError::NoSuchProcess(pid))
@@ -270,9 +409,7 @@ impl Kernel {
 
     /// The process's *private* capability bag.
     pub fn caps(&self, pid: ProcessId) -> KernelResult<CapSet> {
-        let inner = self.inner.lock();
-        inner
-            .procs
+        self.shard(pid)
             .get(&pid)
             .map(|p| p.caps.clone())
             .ok_or(KernelError::NoSuchProcess(pid))
@@ -281,24 +418,23 @@ impl Kernel {
     /// The process's effective capability set (private ∪ global bag).
     pub fn effective_caps(&self, pid: ProcessId) -> KernelResult<CapSet> {
         let caps = self.caps(pid)?;
-        Ok(self.registry.effective(&caps))
+        Ok(self.shared.registry.effective(&caps))
     }
 
     /// Create a tag on behalf of a process; the creator capabilities enter
     /// the process's private bag, and the public half enters the global bag.
     pub fn create_tag(&self, pid: ProcessId, kind: TagKind, name: &str) -> KernelResult<Tag> {
         // Allocate outside the process-table lock; the registry has its own.
-        let (tag, creator_caps) = self.registry.create_tag(kind, name);
-        let mut inner = self.inner.lock();
-        let p = inner
-            .procs
+        let (tag, creator_caps) = self.shared.registry.create_tag(kind, name);
+        let mut guard = self.shard(pid);
+        let p = guard
             .get_mut(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         if p.state == ProcessState::Dead {
             return Err(KernelError::ProcessDead(pid));
         }
         p.caps.extend(&creator_caps);
-        drop(inner);
+        drop(guard);
         w5_obs::record(
             &w5_obs::ObsLabel::empty(),
             w5_obs::EventKind::TagGrant { pid: pid.0, tag: tag.raw() },
@@ -308,17 +444,15 @@ impl Kernel {
 
     /// Change a process's own labels, subject to the safe-change rule.
     pub fn change_labels(&self, pid: ProcessId, new: LabelPair) -> KernelResult<()> {
-        let mut inner = self.inner.lock();
-        inner.stats.label_changes += 1;
-        let registry = Arc::clone(&self.registry);
-        let p = inner
-            .procs
+        self.shared.label_changes.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.shard(pid);
+        let p = guard
             .get_mut(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         if p.state == ProcessState::Dead {
             return Err(KernelError::ProcessDead(pid));
         }
-        let eff = registry.effective(&p.caps);
+        let eff = self.shared.registry.effective(&p.caps);
         let check = rules::safe_change(&p.labels.secrecy, &new.secrecy, &eff)
             .and_then(|()| rules::safe_change(&p.labels.integrity, &new.integrity, &eff));
         match check {
@@ -327,7 +461,7 @@ impl Kernel {
                 Ok(())
             }
             Err(e) => {
-                inner.stats.label_changes_denied += 1;
+                self.shared.label_changes_denied.fetch_add(1, Ordering::Relaxed);
                 Err(e.into())
             }
         }
@@ -336,15 +470,14 @@ impl Kernel {
     /// Permanently drop capabilities from a process's private bag
     /// (privilege shedding before running untrusted code).
     pub fn drop_caps(&self, pid: ProcessId, caps: &CapSet) -> KernelResult<()> {
-        let mut inner = self.inner.lock();
-        let p = inner
-            .procs
+        let mut guard = self.shard(pid);
+        let p = guard
             .get_mut(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         for c in caps.iter() {
             p.caps.remove(c);
         }
-        drop(inner);
+        drop(guard);
         w5_obs::record(
             &w5_obs::ObsLabel::empty(),
             w5_obs::EventKind::CapabilityUse {
@@ -360,13 +493,12 @@ impl Kernel {
     /// entry point, used when a user's policy grants a declassifier
     /// privileges over the user's tags.
     pub fn grant_caps(&self, pid: ProcessId, caps: &CapSet) -> KernelResult<()> {
-        let mut inner = self.inner.lock();
-        let p = inner
-            .procs
+        let mut guard = self.shard(pid);
+        let p = guard
             .get_mut(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         p.caps.extend(caps);
-        drop(inner);
+        drop(guard);
         w5_obs::record(
             &w5_obs::ObsLabel::empty(),
             w5_obs::EventKind::CapabilityUse {
@@ -417,14 +549,17 @@ impl Kernel {
             w5_obs::Layer::Kernel,
             &w5_obs::ObsLabel::empty(),
         );
-        let mut inner = self.inner.lock();
-        inner.stats.sends_checked += 1;
-        let registry = Arc::clone(&self.registry);
+        self.shared.sends_checked.fetch_add(1, Ordering::Relaxed);
+        let registry = Arc::clone(&self.shared.registry);
+        // Both shards for the whole check-and-deliver: sender labels,
+        // receiver labels, quota charge and mailbox push are one atomic
+        // step, exactly as under the old global lock.
+        let mut guards = self.lock_pair(from, to);
 
         // Snapshot sender state.
         let (s_labels, s_pair, s_caps) = {
-            let p = inner
-                .procs
+            let p = guards
+                .sender()
                 .get(&from)
                 .ok_or(KernelError::NoSuchProcess(from))?;
             if p.state == ProcessState::Dead {
@@ -445,7 +580,10 @@ impl Kernel {
 
         // Receiver state.
         let r_pair = {
-            let p = inner.procs.get(&to).ok_or(KernelError::NoSuchProcess(to))?;
+            let p = guards
+                .receiver()
+                .get(&to)
+                .ok_or(KernelError::NoSuchProcess(to))?;
             if p.state == ProcessState::Dead {
                 return Err(KernelError::ProcessDead(to));
             }
@@ -461,9 +599,9 @@ impl Kernel {
         //
         // Fast path: if the zero-privilege flow already holds — sender
         // secrecy ⊆ receiver secrecy and receiver integrity ⊆ sender
-        // integrity, both memoized id-level subset probes — the privileged
-        // rule holds a fortiori (privileges only ever relax it), so the
-        // capability algebra is skipped.
+        // integrity, both memoized lock-free id-level subset probes — the
+        // privileged rule holds a fortiori (privileges only ever relax it),
+        // so the capability algebra is skipped.
         let fast_ok = w5_difc::intern::subset(s_pair.secrecy, r_pair.secrecy)
             && w5_difc::intern::subset(r_pair.integrity, s_pair.integrity);
         let flow = if fast_ok {
@@ -489,8 +627,8 @@ impl Kernel {
                 ))
         };
         if let Err(e) = flow {
-            inner.stats.sends_dropped += 1;
-            drop(inner);
+            self.shared.sends_dropped.fetch_add(1, Ordering::Relaxed);
+            drop(guards);
             if let Some(s) = trace_span.as_mut() {
                 s.add_secrecy(&s_pair.secrecy.to_obs());
             }
@@ -511,17 +649,17 @@ impl Kernel {
         // Charge the sender's network/IPC budget.
         let size = payload.len() as u64;
         {
-            let p = inner.procs.get_mut(&from).expect("sender checked above");
+            let p = guards.sender().get_mut(&from).expect("sender checked above");
             p.container.charge_network(size)?;
         }
         let obs_secrecy = s_pair.secrecy.to_obs();
         let msg = Message { from, payload, labels: s_labels, grant };
-        let q = inner.procs.get_mut(&to).expect("receiver checked above");
+        let q = guards.receiver().get_mut(&to).expect("receiver checked above");
         q.mailbox.push_back(msg);
         if q.state == ProcessState::Blocked {
             q.state = ProcessState::Runnable;
         }
-        drop(inner);
+        drop(guards);
         if let Some(s) = trace_span.as_mut() {
             s.add_secrecy(&obs_secrecy);
         }
@@ -536,9 +674,8 @@ impl Kernel {
     /// the receiver's private bag. Returns `None` (and blocks the process)
     /// when the mailbox is empty.
     pub fn recv(&self, pid: ProcessId) -> KernelResult<Option<Message>> {
-        let mut inner = self.inner.lock();
-        let p = inner
-            .procs
+        let mut guard = self.shard(pid);
+        let p = guard
             .get_mut(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         if p.state == ProcessState::Dead {
@@ -547,7 +684,7 @@ impl Kernel {
         match p.mailbox.pop_front() {
             Some(msg) => {
                 p.caps.extend(&msg.grant);
-                drop(inner);
+                drop(guard);
                 w5_obs::record(
                     &msg.labels.secrecy.to_obs(),
                     w5_obs::EventKind::IpcRecv { pid: pid.0, bytes: msg.payload.len() as u64 },
@@ -563,9 +700,8 @@ impl Kernel {
 
     /// Charge a resource against a process's container.
     pub fn charge(&self, pid: ProcessId, kind: ResourceKind, amount: u64) -> KernelResult<()> {
-        let mut inner = self.inner.lock();
-        let p = inner
-            .procs
+        let mut guard = self.shard(pid);
+        let p = guard
             .get_mut(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         let res = match kind {
@@ -579,9 +715,8 @@ impl Kernel {
 
     /// Release previously charged memory.
     pub fn release_memory(&self, pid: ProcessId, amount: u64) -> KernelResult<()> {
-        let mut inner = self.inner.lock();
-        let p = inner
-            .procs
+        let mut guard = self.shard(pid);
+        let p = guard
             .get_mut(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         p.container.release_memory(amount);
@@ -590,9 +725,7 @@ impl Kernel {
 
     /// Resource usage snapshot for a process.
     pub fn usage(&self, pid: ProcessId) -> KernelResult<ResourceUsage> {
-        let inner = self.inner.lock();
-        inner
-            .procs
+        self.shard(pid)
             .get(&pid)
             .map(|p| p.container.usage())
             .ok_or(KernelError::NoSuchProcess(pid))
@@ -600,20 +733,24 @@ impl Kernel {
 
     /// CPU tokens remaining this epoch for a process.
     pub fn cpu_tokens(&self, pid: ProcessId) -> KernelResult<u64> {
-        let inner = self.inner.lock();
-        inner
-            .procs
+        self.shard(pid)
             .get(&pid)
             .map(|p| p.container.cpu_tokens())
             .ok_or(KernelError::NoSuchProcess(pid))
     }
 
     /// Refill every live process's CPU bucket — the scheduler epoch boundary.
+    /// Shards are refilled one at a time (never two locks at once); a
+    /// process created concurrently with the sweep may or may not be
+    /// refilled this epoch, exactly as a process created concurrently
+    /// with the old global-lock sweep landed before or after it.
     pub fn refill_epoch(&self) {
-        let mut inner = self.inner.lock();
-        for p in inner.procs.values_mut() {
-            if p.state != ProcessState::Dead {
-                p.container.refill_epoch();
+        for shard in self.shared.shards.iter() {
+            let mut guard = shard.procs.lock();
+            for p in guard.values_mut() {
+                if p.state != ProcessState::Dead {
+                    p.container.refill_epoch();
+                }
             }
         }
     }
@@ -621,9 +758,8 @@ impl Kernel {
     /// Terminate a process. Its mailbox is discarded and further syscalls
     /// fail with [`KernelError::ProcessDead`].
     pub fn exit(&self, pid: ProcessId) -> KernelResult<()> {
-        let mut inner = self.inner.lock();
-        let p = inner
-            .procs
+        let mut guard = self.shard(pid);
+        let p = guard
             .get_mut(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         p.state = ProcessState::Dead;
@@ -633,10 +769,10 @@ impl Kernel {
 
     /// Remove a dead process from the table entirely (platform GC).
     pub fn reap(&self, pid: ProcessId) -> KernelResult<()> {
-        let mut inner = self.inner.lock();
-        match inner.procs.get(&pid) {
+        let mut guard = self.shard(pid);
+        match guard.get(&pid) {
             Some(p) if p.state == ProcessState::Dead => {
-                inner.procs.remove(&pid);
+                guard.remove(&pid);
                 Ok(())
             }
             Some(_) => Err(KernelError::ProcessDead(pid)), // still alive: refuse
@@ -644,19 +780,32 @@ impl Kernel {
         }
     }
 
-    /// Number of live (non-dead) processes.
+    /// Number of live (non-dead) processes. Shard-by-shard sweep: the sum
+    /// is exact for any quiescent machine and a consistent-enough estimate
+    /// under churn (same caveat the global-lock count had the moment its
+    /// lock dropped).
     pub fn live_processes(&self) -> usize {
-        self.inner
-            .lock()
-            .procs
-            .values()
-            .filter(|p| p.state != ProcessState::Dead)
-            .count()
+        self.shared
+            .shards
+            .iter()
+            .map(|s| {
+                s.procs
+                    .lock()
+                    .values()
+                    .filter(|p| p.state != ProcessState::Dead)
+                    .count()
+            })
+            .sum()
     }
 
     /// Flow-decision counters.
     pub fn stats(&self) -> KernelStats {
-        self.inner.lock().stats
+        KernelStats {
+            sends_checked: self.shared.sends_checked.load(Ordering::Relaxed),
+            sends_dropped: self.shared.sends_dropped.load(Ordering::Relaxed),
+            label_changes: self.shared.label_changes.load(Ordering::Relaxed),
+            label_changes_denied: self.shared.label_changes_denied.load(Ordering::Relaxed),
+        }
     }
 
     /// Convenience used throughout the platform: can data labeled `data`
@@ -664,10 +813,9 @@ impl Kernel {
     /// so, raise the process's labels accordingly.
     pub fn taint_for_read(&self, pid: ProcessId, data: &LabelPair) -> KernelResult<()> {
         let data_pair = data.interned();
-        let mut inner = self.inner.lock();
-        let registry = Arc::clone(&self.registry);
-        let p = inner
-            .procs
+        let registry = Arc::clone(&self.shared.registry);
+        let mut guard = self.shard(pid);
+        let p = guard
             .get_mut(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         if p.state == ProcessState::Dead {
@@ -681,7 +829,7 @@ impl Kernel {
         if w5_difc::intern::subset(data_pair.secrecy, p.pair.secrecy)
             && w5_difc::intern::subset(p.pair.integrity, data_pair.integrity)
         {
-            drop(inner);
+            drop(guard);
             w5_obs::count_check("read", true, &data_pair.secrecy.to_obs());
             return Ok(());
         }
@@ -698,12 +846,11 @@ impl Kernel {
 
     /// Would a write by `pid` to an object labeled `obj` be admissible?
     pub fn check_write(&self, pid: ProcessId, obj: &LabelPair) -> KernelResult<()> {
-        let inner = self.inner.lock();
-        let p = inner
-            .procs
+        let guard = self.shard(pid);
+        let p = guard
             .get(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
-        let eff = self.registry.effective(&p.caps);
+        let eff = self.shared.registry.effective(&p.caps);
         match rules::labels_for_write(&p.labels, &eff, obj) {
             rules::FlowCheck::Denied(e) => Err(e.into()),
             _ => Ok(()),
@@ -712,12 +859,89 @@ impl Kernel {
 
     /// Does `pid` effectively hold the capability?
     pub fn holds(&self, pid: ProcessId, cap: Capability) -> KernelResult<bool> {
-        let inner = self.inner.lock();
-        let p = inner
-            .procs
+        let guard = self.shard(pid);
+        let p = guard
             .get(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
-        Ok(self.registry.effectively_holds(&p.caps, cap))
+        Ok(self.shared.registry.effectively_holds(&p.caps, cap))
+    }
+}
+
+impl crate::api::Syscalls for Kernel {
+    fn registry(&self) -> &Arc<TagRegistry> {
+        self.registry()
+    }
+    fn create_process(
+        &self,
+        name: &str,
+        labels: LabelPair,
+        caps: CapSet,
+        limits: ResourceLimits,
+    ) -> ProcessId {
+        self.create_process(name, labels, caps, limits)
+    }
+    fn spawn(&self, parent: ProcessId, spec: SpawnSpec) -> KernelResult<ProcessId> {
+        self.spawn(parent, spec)
+    }
+    fn process_info(&self, pid: ProcessId) -> KernelResult<ProcessInfo> {
+        self.process_info(pid)
+    }
+    fn labels(&self, pid: ProcessId) -> KernelResult<LabelPair> {
+        self.labels(pid)
+    }
+    fn caps(&self, pid: ProcessId) -> KernelResult<CapSet> {
+        self.caps(pid)
+    }
+    fn create_tag(&self, pid: ProcessId, kind: TagKind, name: &str) -> KernelResult<Tag> {
+        self.create_tag(pid, kind, name)
+    }
+    fn change_labels(&self, pid: ProcessId, new: LabelPair) -> KernelResult<()> {
+        self.change_labels(pid, new)
+    }
+    fn drop_caps(&self, pid: ProcessId, caps: &CapSet) -> KernelResult<()> {
+        self.drop_caps(pid, caps)
+    }
+    fn grant_caps(&self, pid: ProcessId, caps: &CapSet) -> KernelResult<()> {
+        self.grant_caps(pid, caps)
+    }
+    fn send(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: Bytes,
+        grant: CapSet,
+    ) -> KernelResult<Delivery> {
+        self.send(from, to, payload, grant)
+    }
+    fn send_strict(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: Bytes,
+        grant: CapSet,
+    ) -> KernelResult<()> {
+        self.send_strict(from, to, payload, grant)
+    }
+    fn recv(&self, pid: ProcessId) -> KernelResult<Option<Message>> {
+        self.recv(pid)
+    }
+    fn taint_for_read(&self, pid: ProcessId, data: &LabelPair) -> KernelResult<()> {
+        self.taint_for_read(pid, data)
+    }
+    fn check_write(&self, pid: ProcessId, obj: &LabelPair) -> KernelResult<()> {
+        self.check_write(pid, obj)
+    }
+    fn exit(&self, pid: ProcessId) -> KernelResult<()> {
+        self.exit(pid)
+    }
+    fn reap(&self, pid: ProcessId) -> KernelResult<()> {
+        self.reap(pid)
+    }
+    fn live_processes(&self) -> usize {
+        self.live_processes()
+    }
+    fn stats(&self) -> KernelStats {
+        self.stats()
     }
 }
 
@@ -969,5 +1193,49 @@ mod tests {
         k.refill_epoch();
         assert!(k.charge(a, ResourceKind::Cpu, 1).is_ok());
         assert_eq!(k.cpu_tokens(a).unwrap(), 4);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let r = Arc::new(TagRegistry::new());
+        assert_eq!(Kernel::with_shards(0, Arc::clone(&r)).shard_count(), 1);
+        assert_eq!(Kernel::with_shards(1, Arc::clone(&r)).shard_count(), 1);
+        assert_eq!(Kernel::with_shards(3, Arc::clone(&r)).shard_count(), 4);
+        assert_eq!(Kernel::with_shards(16, Arc::clone(&r)).shard_count(), 16);
+        assert_eq!(kernel().shard_count(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn cross_shard_send_works_both_directions() {
+        // With the default 16 shards, pids 1 and 2 land in shards 1 and 2:
+        // sends exercise both lock orders (low→high and high→low).
+        let k = kernel();
+        let a = mk(&k, "a"); // pid 1
+        let b = mk(&k, "b"); // pid 2
+        assert_ne!(k.shard_ix(a), k.shard_ix(b));
+        k.send_strict(a, b, Bytes::from_static(b"up"), CapSet::empty()).unwrap();
+        k.send_strict(b, a, Bytes::from_static(b"down"), CapSet::empty()).unwrap();
+        assert_eq!(&k.recv(b).unwrap().unwrap().payload[..], b"up");
+        assert_eq!(&k.recv(a).unwrap().unwrap().payload[..], b"down");
+    }
+
+    #[test]
+    fn self_send_single_shard() {
+        let k = kernel();
+        let a = mk(&k, "loopback");
+        k.send_strict(a, a, Bytes::from_static(b"echo"), CapSet::empty()).unwrap();
+        assert_eq!(&k.recv(a).unwrap().unwrap().payload[..], b"echo");
+        assert_eq!(k.stats().sends_checked, 1);
+    }
+
+    #[test]
+    fn single_shard_kernel_still_correct() {
+        // Degenerate 1-shard configuration: every pair is same-shard.
+        let k = Kernel::with_shards(1, Arc::new(TagRegistry::new()));
+        let a = mk(&k, "a");
+        let b = mk(&k, "b");
+        assert_eq!(k.shard_ix(a), k.shard_ix(b));
+        k.send_strict(a, b, Bytes::from_static(b"one"), CapSet::empty()).unwrap();
+        assert_eq!(&k.recv(b).unwrap().unwrap().payload[..], b"one");
     }
 }

@@ -1,0 +1,693 @@
+//! The single-lock reference kernel — the pre-sharding implementation,
+//! kept verbatim as the baseline arm of the differential concurrency
+//! oracle (`w5_sim::concurrency`).
+//!
+//! [`ReferenceKernel`] serializes every syscall behind one global
+//! `Mutex<Inner>`. That makes it trivially linearizable: any schedule of
+//! syscalls, from any number of threads, executes as if in some total
+//! order. The sharded [`crate::Kernel`] claims to preserve exactly the
+//! observable behavior of this kernel while striping its state across
+//! shards; the differential harness replays identical seeded schedules
+//! against both and compares final label state, capability bags, mailbox
+//! depths, flow-decision counters and obs-ledger counts.
+//!
+//! Do not "improve" this module. Its value is that it is the old code:
+//! an independent implementation that the sharded kernel is checked
+//! against. Behavioral fixes belong in `kernel.rs`, and only ever in
+//! this file afterwards, deliberately, when the contract itself changes.
+
+use crate::api::Syscalls;
+use crate::ids::ProcessId;
+use crate::kernel::{Delivery, KernelError, KernelResult, KernelStats, SpawnSpec};
+use crate::message::Message;
+use crate::process::{Process, ProcessInfo, ProcessState};
+use crate::resource::{ResourceContainer, ResourceKind, ResourceLimits, ResourceUsage};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use w5_difc::{rules, CapSet, Capability, LabelPair, Tag, TagKind, TagRegistry};
+
+struct Inner {
+    procs: HashMap<ProcessId, Process>,
+    stats: KernelStats,
+}
+
+/// The pre-sharding DIFC kernel: one process table, one global lock.
+/// Cheap to share: `ReferenceKernel` is `Clone` and all clones view the
+/// same machine.
+#[derive(Clone)]
+pub struct ReferenceKernel {
+    registry: Arc<TagRegistry>,
+    inner: Arc<Mutex<Inner>>,
+    next_pid: Arc<AtomicU64>,
+}
+
+impl ReferenceKernel {
+    /// A fresh machine sharing the given tag registry.
+    pub fn new(registry: Arc<TagRegistry>) -> ReferenceKernel {
+        ReferenceKernel {
+            registry,
+            inner: Arc::new(Mutex::new(Inner {
+                procs: HashMap::new(),
+                stats: KernelStats::default(),
+            })),
+            next_pid: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// The shared tag registry.
+    pub fn registry(&self) -> &Arc<TagRegistry> {
+        &self.registry
+    }
+
+    /// Trusted process creation (see [`crate::Kernel::create_process`]).
+    pub fn create_process(
+        &self,
+        name: &str,
+        labels: LabelPair,
+        caps: CapSet,
+        limits: ResourceLimits,
+    ) -> ProcessId {
+        let id = ProcessId(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        let pair = labels.interned();
+        let obs_secrecy = pair.secrecy.to_obs();
+        let mut trace_span = w5_obs::span_if_active(
+            "kernel.create_process",
+            w5_obs::Layer::Kernel,
+            &w5_obs::ObsLabel::empty(),
+        );
+        if let Some(s) = trace_span.as_mut() {
+            s.add_secrecy(&obs_secrecy);
+        }
+        let proc = Process {
+            id,
+            name: name.to_string(),
+            labels,
+            pair,
+            caps,
+            state: ProcessState::Runnable,
+            mailbox: Default::default(),
+            container: ResourceContainer::new(limits),
+            parent: None,
+        };
+        self.inner.lock().procs.insert(id, proc);
+        w5_obs::record(
+            &obs_secrecy,
+            w5_obs::EventKind::ProcSpawn { pid: id.0, parent: 0, name: name.to_string() },
+        );
+        id
+    }
+
+    /// Spawn a child (see [`crate::Kernel::spawn`]).
+    pub fn spawn(&self, parent: ProcessId, spec: SpawnSpec) -> KernelResult<ProcessId> {
+        if w5_chaos::inject(w5_chaos::Site::KernelSpawn).is_some() {
+            return Err(KernelError::Injected(w5_chaos::Site::KernelSpawn.as_str()));
+        }
+        let mut trace_span = w5_obs::span_if_active(
+            "kernel.spawn",
+            w5_obs::Layer::Kernel,
+            &w5_obs::ObsLabel::empty(),
+        );
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get(&parent)
+            .ok_or(KernelError::NoSuchProcess(parent))?;
+        if p.state == ProcessState::Dead {
+            return Err(KernelError::ProcessDead(parent));
+        }
+        let spec_pair = spec.labels.interned();
+        if spec_pair != p.pair || !spec.grant.is_empty() {
+            let eff = self.registry.effective(&p.caps);
+            rules::safe_change(&p.labels.secrecy, &spec.labels.secrecy, &eff)?;
+            rules::safe_change(&p.labels.integrity, &spec.labels.integrity, &eff)?;
+            if !spec.grant.is_subset(&eff) {
+                return Err(KernelError::GrantNotHeld);
+            }
+        }
+        let id = ProcessId(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        let obs_secrecy = spec_pair.secrecy.to_obs();
+        let child_name = spec.name.clone();
+        let child = Process {
+            id,
+            name: spec.name,
+            labels: spec.labels,
+            pair: spec_pair,
+            caps: spec.grant,
+            state: ProcessState::Runnable,
+            mailbox: Default::default(),
+            container: ResourceContainer::new(spec.limits),
+            parent: Some(parent),
+        };
+        inner.procs.insert(id, child);
+        drop(inner);
+        if let Some(s) = trace_span.as_mut() {
+            s.add_secrecy(&obs_secrecy);
+        }
+        w5_obs::record(
+            &obs_secrecy,
+            w5_obs::EventKind::ProcSpawn { pid: id.0, parent: parent.0, name: child_name },
+        );
+        Ok(id)
+    }
+
+    /// Snapshot of a process's public metadata.
+    pub fn process_info(&self, pid: ProcessId) -> KernelResult<ProcessInfo> {
+        let inner = self.inner.lock();
+        inner
+            .procs
+            .get(&pid)
+            .map(Process::info)
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    /// Current labels of a process.
+    pub fn labels(&self, pid: ProcessId) -> KernelResult<LabelPair> {
+        let inner = self.inner.lock();
+        inner
+            .procs
+            .get(&pid)
+            .map(|p| p.labels.clone())
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    /// The process's *private* capability bag.
+    pub fn caps(&self, pid: ProcessId) -> KernelResult<CapSet> {
+        let inner = self.inner.lock();
+        inner
+            .procs
+            .get(&pid)
+            .map(|p| p.caps.clone())
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    /// The process's effective capability set (private ∪ global bag).
+    pub fn effective_caps(&self, pid: ProcessId) -> KernelResult<CapSet> {
+        let caps = self.caps(pid)?;
+        Ok(self.registry.effective(&caps))
+    }
+
+    /// Create a tag on behalf of a process (see [`crate::Kernel::create_tag`]).
+    pub fn create_tag(&self, pid: ProcessId, kind: TagKind, name: &str) -> KernelResult<Tag> {
+        let (tag, creator_caps) = self.registry.create_tag(kind, name);
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        if p.state == ProcessState::Dead {
+            return Err(KernelError::ProcessDead(pid));
+        }
+        p.caps.extend(&creator_caps);
+        drop(inner);
+        w5_obs::record(
+            &w5_obs::ObsLabel::empty(),
+            w5_obs::EventKind::TagGrant { pid: pid.0, tag: tag.raw() },
+        );
+        Ok(tag)
+    }
+
+    /// Change a process's own labels, subject to the safe-change rule.
+    pub fn change_labels(&self, pid: ProcessId, new: LabelPair) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        inner.stats.label_changes += 1;
+        let registry = Arc::clone(&self.registry);
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        if p.state == ProcessState::Dead {
+            return Err(KernelError::ProcessDead(pid));
+        }
+        let eff = registry.effective(&p.caps);
+        let check = rules::safe_change(&p.labels.secrecy, &new.secrecy, &eff)
+            .and_then(|()| rules::safe_change(&p.labels.integrity, &new.integrity, &eff));
+        match check {
+            Ok(()) => {
+                p.set_labels(new);
+                Ok(())
+            }
+            Err(e) => {
+                inner.stats.label_changes_denied += 1;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Permanently drop capabilities from a process's private bag.
+    pub fn drop_caps(&self, pid: ProcessId, caps: &CapSet) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        for c in caps.iter() {
+            p.caps.remove(c);
+        }
+        drop(inner);
+        w5_obs::record(
+            &w5_obs::ObsLabel::empty(),
+            w5_obs::EventKind::CapabilityUse {
+                pid: pid.0,
+                op: "drop".to_string(),
+                count: caps.len() as u64,
+            },
+        );
+        Ok(())
+    }
+
+    /// Add capabilities to a process's private bag (trusted entry point).
+    pub fn grant_caps(&self, pid: ProcessId, caps: &CapSet) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        p.caps.extend(caps);
+        drop(inner);
+        w5_obs::record(
+            &w5_obs::ObsLabel::empty(),
+            w5_obs::EventKind::CapabilityUse {
+                pid: pid.0,
+                op: "grant".to_string(),
+                count: caps.len() as u64,
+            },
+        );
+        Ok(())
+    }
+
+    /// Send with silent-drop semantics (see [`crate::Kernel::send`]).
+    pub fn send(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: Bytes,
+        grant: CapSet,
+    ) -> KernelResult<Delivery> {
+        match self.send_strict(from, to, payload, grant) {
+            Ok(()) => Ok(Delivery::Delivered),
+            Err(KernelError::Difc(_)) => Ok(Delivery::Dropped),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Send with the flow decision surfaced (trusted callers only).
+    pub fn send_strict(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: Bytes,
+        grant: CapSet,
+    ) -> KernelResult<()> {
+        if w5_chaos::inject(w5_chaos::Site::KernelSend).is_some() {
+            return Err(KernelError::Injected(w5_chaos::Site::KernelSend.as_str()));
+        }
+        let mut trace_span = w5_obs::span_if_active(
+            "kernel.send",
+            w5_obs::Layer::Kernel,
+            &w5_obs::ObsLabel::empty(),
+        );
+        let mut inner = self.inner.lock();
+        inner.stats.sends_checked += 1;
+        let registry = Arc::clone(&self.registry);
+
+        let (s_labels, s_pair, s_caps) = {
+            let p = inner
+                .procs
+                .get(&from)
+                .ok_or(KernelError::NoSuchProcess(from))?;
+            if p.state == ProcessState::Dead {
+                return Err(KernelError::ProcessDead(from));
+            }
+            (p.labels.clone(), p.pair, p.caps.clone())
+        };
+        let mut s_eff = None;
+        if !grant.is_empty() {
+            let eff = s_eff.insert(registry.effective(&s_caps));
+            if !grant.is_subset(eff) {
+                return Err(KernelError::GrantNotHeld);
+            }
+        }
+
+        let r_pair = {
+            let p = inner.procs.get(&to).ok_or(KernelError::NoSuchProcess(to))?;
+            if p.state == ProcessState::Dead {
+                return Err(KernelError::ProcessDead(to));
+            }
+            p.pair
+        };
+
+        // Delivery is checked against the receiver's labels *as they
+        // stand* (Flume's endpoint discipline); see `kernel.rs` for the
+        // full rationale. Fast path: memoized id-level subset probes.
+        let fast_ok = w5_difc::intern::subset(s_pair.secrecy, r_pair.secrecy)
+            && w5_difc::intern::subset(r_pair.integrity, s_pair.integrity);
+        let flow = if fast_ok {
+            w5_obs::count_check("flow", true, &s_pair.secrecy.to_obs());
+            Ok(())
+        } else {
+            let eff = match &s_eff {
+                Some(eff) => eff,
+                None => s_eff.insert(registry.effective(&s_caps)),
+            };
+            let r_labels = r_pair.resolve();
+            rules::can_flow_with(&s_labels.secrecy, eff, &r_labels.secrecy, &CapSet::empty())
+                .and(rules::integrity_flow_with(
+                    &s_labels.integrity,
+                    eff,
+                    &r_labels.integrity,
+                    &CapSet::empty(),
+                ))
+        };
+        if let Err(e) = flow {
+            inner.stats.sends_dropped += 1;
+            drop(inner);
+            if let Some(s) = trace_span.as_mut() {
+                s.add_secrecy(&s_pair.secrecy.to_obs());
+            }
+            w5_obs::record(
+                &s_pair.secrecy.to_obs(),
+                w5_obs::EventKind::IpcSend {
+                    from: from.0,
+                    to: to.0,
+                    bytes: payload.len() as u64,
+                    delivered: false,
+                },
+            );
+            return Err(e.into());
+        }
+
+        let size = payload.len() as u64;
+        {
+            let p = inner.procs.get_mut(&from).expect("sender checked above");
+            p.container.charge_network(size)?;
+        }
+        let obs_secrecy = s_pair.secrecy.to_obs();
+        let msg = Message { from, payload, labels: s_labels, grant };
+        let q = inner.procs.get_mut(&to).expect("receiver checked above");
+        q.mailbox.push_back(msg);
+        if q.state == ProcessState::Blocked {
+            q.state = ProcessState::Runnable;
+        }
+        drop(inner);
+        if let Some(s) = trace_span.as_mut() {
+            s.add_secrecy(&obs_secrecy);
+        }
+        w5_obs::record(
+            &obs_secrecy,
+            w5_obs::EventKind::IpcSend { from: from.0, to: to.0, bytes: size, delivered: true },
+        );
+        Ok(())
+    }
+
+    /// Dequeue the next message for `pid` (see [`crate::Kernel::recv`]).
+    pub fn recv(&self, pid: ProcessId) -> KernelResult<Option<Message>> {
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        if p.state == ProcessState::Dead {
+            return Err(KernelError::ProcessDead(pid));
+        }
+        match p.mailbox.pop_front() {
+            Some(msg) => {
+                p.caps.extend(&msg.grant);
+                drop(inner);
+                w5_obs::record(
+                    &msg.labels.secrecy.to_obs(),
+                    w5_obs::EventKind::IpcRecv { pid: pid.0, bytes: msg.payload.len() as u64 },
+                );
+                Ok(Some(msg))
+            }
+            None => {
+                p.state = ProcessState::Blocked;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Charge a resource against a process's container.
+    pub fn charge(&self, pid: ProcessId, kind: ResourceKind, amount: u64) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        let res = match kind {
+            ResourceKind::Cpu => p.container.charge_cpu(amount),
+            ResourceKind::Memory => p.container.charge_memory(amount),
+            ResourceKind::Disk => p.container.charge_disk(amount),
+            ResourceKind::Network => p.container.charge_network(amount),
+        };
+        res.map_err(Into::into)
+    }
+
+    /// Release previously charged memory.
+    pub fn release_memory(&self, pid: ProcessId, amount: u64) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        p.container.release_memory(amount);
+        Ok(())
+    }
+
+    /// Resource usage snapshot for a process.
+    pub fn usage(&self, pid: ProcessId) -> KernelResult<ResourceUsage> {
+        let inner = self.inner.lock();
+        inner
+            .procs
+            .get(&pid)
+            .map(|p| p.container.usage())
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    /// CPU tokens remaining this epoch for a process.
+    pub fn cpu_tokens(&self, pid: ProcessId) -> KernelResult<u64> {
+        let inner = self.inner.lock();
+        inner
+            .procs
+            .get(&pid)
+            .map(|p| p.container.cpu_tokens())
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    /// Refill every live process's CPU bucket.
+    pub fn refill_epoch(&self) {
+        let mut inner = self.inner.lock();
+        for p in inner.procs.values_mut() {
+            if p.state != ProcessState::Dead {
+                p.container.refill_epoch();
+            }
+        }
+    }
+
+    /// Terminate a process.
+    pub fn exit(&self, pid: ProcessId) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        p.state = ProcessState::Dead;
+        p.mailbox.clear();
+        Ok(())
+    }
+
+    /// Remove a dead process from the table entirely.
+    pub fn reap(&self, pid: ProcessId) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        match inner.procs.get(&pid) {
+            Some(p) if p.state == ProcessState::Dead => {
+                inner.procs.remove(&pid);
+                Ok(())
+            }
+            Some(_) => Err(KernelError::ProcessDead(pid)),
+            None => Err(KernelError::NoSuchProcess(pid)),
+        }
+    }
+
+    /// Number of live (non-dead) processes.
+    pub fn live_processes(&self) -> usize {
+        self.inner
+            .lock()
+            .procs
+            .values()
+            .filter(|p| p.state != ProcessState::Dead)
+            .count()
+    }
+
+    /// Flow-decision counters.
+    pub fn stats(&self) -> KernelStats {
+        self.inner.lock().stats
+    }
+
+    /// Taint-on-read (see [`crate::Kernel::taint_for_read`]).
+    pub fn taint_for_read(&self, pid: ProcessId, data: &LabelPair) -> KernelResult<()> {
+        let data_pair = data.interned();
+        let mut inner = self.inner.lock();
+        let registry = Arc::clone(&self.registry);
+        let p = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        if p.state == ProcessState::Dead {
+            return Err(KernelError::ProcessDead(pid));
+        }
+        if w5_difc::intern::subset(data_pair.secrecy, p.pair.secrecy)
+            && w5_difc::intern::subset(p.pair.integrity, data_pair.integrity)
+        {
+            drop(inner);
+            w5_obs::count_check("read", true, &data_pair.secrecy.to_obs());
+            return Ok(());
+        }
+        let eff = registry.effective(&p.caps);
+        match rules::labels_for_read(&p.labels, &eff, data) {
+            rules::FlowCheck::Allowed => Ok(()),
+            rules::FlowCheck::AllowedWithChange { new_secrecy, new_integrity } => {
+                p.set_labels(LabelPair::new(new_secrecy, new_integrity));
+                Ok(())
+            }
+            rules::FlowCheck::Denied(e) => Err(e.into()),
+        }
+    }
+
+    /// Would a write by `pid` to an object labeled `obj` be admissible?
+    pub fn check_write(&self, pid: ProcessId, obj: &LabelPair) -> KernelResult<()> {
+        let inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        let eff = self.registry.effective(&p.caps);
+        match rules::labels_for_write(&p.labels, &eff, obj) {
+            rules::FlowCheck::Denied(e) => Err(e.into()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Does `pid` effectively hold the capability?
+    pub fn holds(&self, pid: ProcessId, cap: Capability) -> KernelResult<bool> {
+        let inner = self.inner.lock();
+        let p = inner
+            .procs
+            .get(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        Ok(self.registry.effectively_holds(&p.caps, cap))
+    }
+}
+
+impl Syscalls for ReferenceKernel {
+    fn registry(&self) -> &Arc<TagRegistry> {
+        self.registry()
+    }
+    fn create_process(
+        &self,
+        name: &str,
+        labels: LabelPair,
+        caps: CapSet,
+        limits: ResourceLimits,
+    ) -> ProcessId {
+        self.create_process(name, labels, caps, limits)
+    }
+    fn spawn(&self, parent: ProcessId, spec: SpawnSpec) -> KernelResult<ProcessId> {
+        self.spawn(parent, spec)
+    }
+    fn process_info(&self, pid: ProcessId) -> KernelResult<ProcessInfo> {
+        self.process_info(pid)
+    }
+    fn labels(&self, pid: ProcessId) -> KernelResult<LabelPair> {
+        self.labels(pid)
+    }
+    fn caps(&self, pid: ProcessId) -> KernelResult<CapSet> {
+        self.caps(pid)
+    }
+    fn create_tag(&self, pid: ProcessId, kind: TagKind, name: &str) -> KernelResult<Tag> {
+        self.create_tag(pid, kind, name)
+    }
+    fn change_labels(&self, pid: ProcessId, new: LabelPair) -> KernelResult<()> {
+        self.change_labels(pid, new)
+    }
+    fn drop_caps(&self, pid: ProcessId, caps: &CapSet) -> KernelResult<()> {
+        self.drop_caps(pid, caps)
+    }
+    fn grant_caps(&self, pid: ProcessId, caps: &CapSet) -> KernelResult<()> {
+        self.grant_caps(pid, caps)
+    }
+    fn send(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: Bytes,
+        grant: CapSet,
+    ) -> KernelResult<Delivery> {
+        self.send(from, to, payload, grant)
+    }
+    fn send_strict(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: Bytes,
+        grant: CapSet,
+    ) -> KernelResult<()> {
+        self.send_strict(from, to, payload, grant)
+    }
+    fn recv(&self, pid: ProcessId) -> KernelResult<Option<Message>> {
+        self.recv(pid)
+    }
+    fn taint_for_read(&self, pid: ProcessId, data: &LabelPair) -> KernelResult<()> {
+        self.taint_for_read(pid, data)
+    }
+    fn check_write(&self, pid: ProcessId, obj: &LabelPair) -> KernelResult<()> {
+        self.check_write(pid, obj)
+    }
+    fn exit(&self, pid: ProcessId) -> KernelResult<()> {
+        self.exit(pid)
+    }
+    fn reap(&self, pid: ProcessId) -> KernelResult<()> {
+        self.reap(pid)
+    }
+    fn live_processes(&self) -> usize {
+        self.live_processes()
+    }
+    fn stats(&self) -> KernelStats {
+        self.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use w5_difc::Label;
+
+    #[test]
+    fn reference_send_recv_roundtrip() {
+        let k = ReferenceKernel::new(Arc::new(TagRegistry::new()));
+        let a = k.create_process("a", LabelPair::public(), CapSet::empty(), ResourceLimits::unlimited());
+        let b = k.create_process("b", LabelPair::public(), CapSet::empty(), ResourceLimits::unlimited());
+        let d = k.send(a, b, Bytes::from_static(b"hi"), CapSet::empty()).unwrap();
+        assert_eq!(d, Delivery::Delivered);
+        let msg = k.recv(b).unwrap().unwrap();
+        assert_eq!(&msg.payload[..], b"hi");
+        assert_eq!(k.stats().sends_checked, 1);
+    }
+
+    #[test]
+    fn reference_drops_tainted_flow() {
+        let k = ReferenceKernel::new(Arc::new(TagRegistry::new()));
+        let a = k.create_process("a", LabelPair::public(), CapSet::empty(), ResourceLimits::unlimited());
+        let b = k.create_process("b", LabelPair::public(), CapSet::empty(), ResourceLimits::unlimited());
+        let e = k.create_tag(a, TagKind::ExportProtect, "export:ref").unwrap();
+        k.change_labels(a, LabelPair::new(Label::singleton(e), Label::empty())).unwrap();
+        let mut minus = CapSet::empty();
+        minus.insert(Capability::minus(e));
+        k.drop_caps(a, &minus).unwrap();
+        let d = k.send(a, b, Bytes::from_static(b"s"), CapSet::empty()).unwrap();
+        assert_eq!(d, Delivery::Dropped);
+        assert_eq!(k.stats().sends_dropped, 1);
+    }
+}

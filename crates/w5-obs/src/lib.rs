@@ -80,6 +80,18 @@ fn current() -> Option<Arc<Ledger>> {
     SCOPED.with(|s| s.borrow().last().cloned())
 }
 
+/// The innermost scoped ledger installed on *this* thread, if any.
+///
+/// Scoped ledgers are thread-local, so a worker thread spawned inside a
+/// `scoped(..)` region records into the global ledger unless it installs
+/// its own scope. Harnesses that fan work out across threads (the
+/// differential concurrency oracle in `w5-sim`, the multi-threaded
+/// kernel bench) capture the parent's ledger with this before spawning
+/// and re-install it per worker via [`scoped`].
+pub fn current_scoped() -> Option<Arc<Ledger>> {
+    current()
+}
+
 /// Record an event into the current ledger (this thread's scoped ledger if
 /// one is installed, the process-wide global otherwise). The secrecy label
 /// must be the label of the *flow the event describes* (the data moved,

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod concurrency;
 pub mod depgraph;
 pub mod differential;
 pub mod population;
@@ -29,6 +30,10 @@ pub mod table;
 pub mod workload;
 
 pub use chaos::{run_chaos, ChaosOutcome, ChaosSpec};
+pub use concurrency::{
+    assert_differential, run_reference_concurrent, run_reference_serial, run_sharded_concurrent,
+    run_sharded_serial, ConcOutcome, ConcSpec, ProcState,
+};
 pub use differential::{run_differential, DiffOutcome, DiffSpec};
 pub use w5_obs::{histogram, Histogram};
 pub use population::{build_population, PopulationConfig, World};
