@@ -90,6 +90,35 @@ pub struct PairId {
     pub integrity: LabelId,
 }
 
+/// FNV-1a hasher for [`PairId`]/[`LabelId`] keys. Interned ids are two
+/// small dense integers, so SipHash's DoS resistance buys nothing and its
+/// cost dominates the probes hot paths exist to make cheap. Shared by the
+/// store's flow memo and its partition directory.
+#[derive(Default)]
+pub struct PairIdHasher(u64);
+
+impl std::hash::Hasher for PairIdHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(0x100000001b3);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A `HashMap` keyed by [`PairId`] using the cheap FNV hasher — the map
+/// shape every per-label side table (flow memos, partition directories,
+/// label resolution caches) wants.
+pub type PairIdMap<V> =
+    HashMap<PairId, V, std::hash::BuildHasherDefault<PairIdHasher>>;
+
 impl PairId {
     /// The public (empty/empty) pair.
     pub const PUBLIC: PairId = PairId { secrecy: LabelId::EMPTY, integrity: LabelId::EMPTY };

@@ -47,7 +47,7 @@ pub mod wire;
 pub use caps::{CapSet, Capability, Privilege};
 pub use endpoint::Endpoint;
 pub use error::{DifcError, DifcResult};
-pub use intern::{InternStats, LabelId, PairId};
+pub use intern::{InternStats, LabelId, PairId, PairIdHasher, PairIdMap};
 pub use label::Label;
 pub use registry::{TagMeta, TagRegistry};
 pub use rules::{can_flow, can_flow_with, labels_for_read, labels_for_write, safe_change, FlowCheck};

@@ -129,17 +129,20 @@ impl Server {
                         let _ = overloaded(stream);
                         continue;
                     }
-                    accept_active.fetch_add(1, Ordering::Relaxed);
+                    let guard = ConnGuard::new(&accept_active);
                     let handler = Arc::clone(&handler);
                     let config = config.clone();
-                    let active = Arc::clone(&accept_active);
                     let served = Arc::clone(&accept_served);
                     let stop = Arc::clone(&accept_stop);
+                    // If the spawn fails the closure is dropped unrun, the
+                    // guard releases the slot, and the counter stays
+                    // balanced — an early leak here turned every later
+                    // connection into a permanent 503.
                     let _ = std::thread::Builder::new()
                         .name("w5-http-conn".into())
                         .spawn(move || {
+                            let _guard = guard;
                             let _ = serve_connection(stream, &config, &*handler, &served, &stop);
-                            active.fetch_sub(1, Ordering::Relaxed);
                         });
                 }
             })?;
@@ -154,11 +157,33 @@ impl Server {
     }
 }
 
+/// An occupied connection slot. Incremented on accept; the `Drop` impl
+/// releases it, so the count balances whether the connection thread runs
+/// to completion or the spawn fails and the closure is dropped unrun.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl ConnGuard {
+    fn new(active: &Arc<AtomicUsize>) -> ConnGuard {
+        active.fetch_add(1, Ordering::Relaxed);
+        ConnGuard(Arc::clone(active))
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 fn overloaded(mut stream: TcpStream) -> std::io::Result<()> {
     let resp = Response::error(Status::SERVICE_UNAVAILABLE, "server overloaded");
     let mut out = Vec::new();
     let _ = resp.write_to(&mut out, false);
-    stream.write_all(&out)
+    stream.write_all(&out)?;
+    // Half of the rejected clients have already sent (part of) a request;
+    // without an explicit shutdown they sit in their own read until their
+    // timeout. Close both directions so they see EOF right after the 503.
+    stream.shutdown(std::net::Shutdown::Both)
 }
 
 fn serve_connection(
@@ -340,6 +365,87 @@ mod tests {
             .post(h.addr(), "/submit", "application/x-www-form-urlencoded", b"a=1&b=2")
             .unwrap();
         assert_eq!(resp.body_string(), "a=1&b=2");
+        h.shutdown();
+    }
+
+    #[test]
+    fn conn_guard_releases_slot_even_if_the_thread_never_runs() {
+        // The failed-spawn path: the guard is moved into a closure that is
+        // dropped without ever executing (exactly what `Builder::spawn`
+        // does with it on error). The slot must come back.
+        let active = Arc::new(AtomicUsize::new(0));
+        let guard = ConnGuard::new(&active);
+        assert_eq!(active.load(Ordering::Relaxed), 1);
+        let never_run = move || {
+            let _guard = guard;
+        };
+        drop(never_run);
+        assert_eq!(
+            active.load(Ordering::Relaxed),
+            0,
+            "a dropped connection closure must release its slot"
+        );
+    }
+
+    #[test]
+    fn overloaded_clients_get_503_then_eof_and_server_recovers() {
+        use std::io::Read;
+        use std::sync::mpsc;
+
+        // A handler that parks until released, so one connection can pin
+        // the single slot for as long as the test needs.
+        let (tx, rx) = mpsc::channel::<()>();
+        let rx = Mutex::new(rx);
+        let h = Server::start(
+            "127.0.0.1:0",
+            ServerConfig { max_connections: 1, ..ServerConfig::default() },
+            Arc::new(move |_req: Request, _peer: SocketAddr| {
+                let _ = rx.lock().recv();
+                Response::text("released")
+            }),
+        )
+        .unwrap();
+
+        // Occupy the only slot with an in-flight request.
+        let mut busy = TcpStream::connect(h.addr()).unwrap();
+        busy.write_all(b"GET /hold HTTP/1.1\r\n\r\n").unwrap();
+        for _ in 0..2000 {
+            if h.active_connections() >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(h.active_connections(), 1, "busy connection never registered");
+
+        // The next client has already sent a request; it must receive the
+        // 503 followed promptly by EOF — not hang until its read timeout.
+        let mut rejected = TcpStream::connect(h.addr()).unwrap();
+        rejected.write_all(b"GET /x HTTP/1.1\r\n\r\n").unwrap();
+        rejected.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut buf = Vec::new();
+        rejected.read_to_end(&mut buf).expect("socket must reach EOF after the 503");
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 503"), "got: {text}");
+
+        // Release the parked handler; the slot drains and new clients are
+        // served again — the counter balanced.
+        tx.send(()).unwrap();
+        let mut r = buf_reader(busy);
+        let resp = Response::read_from(&mut r, &Limits::default()).unwrap();
+        assert_eq!(resp.status, Status::OK);
+        drop(r);
+        for _ in 0..2000 {
+            if h.active_connections() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(h.active_connections(), 0, "slot leaked after connection closed");
+        // Disconnect the channel so later handler invocations return at
+        // once instead of parking.
+        drop(tx);
+        let resp = HttpClient::new().get(h.addr(), "/again").unwrap();
+        assert_eq!(resp.status, Status::OK);
         h.shutdown();
     }
 

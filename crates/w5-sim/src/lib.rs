@@ -26,6 +26,7 @@ pub mod depgraph;
 pub mod differential;
 pub mod population;
 pub mod socialgraph;
+pub mod storediff;
 pub mod table;
 pub mod workload;
 
@@ -35,6 +36,10 @@ pub use concurrency::{
     run_sharded_serial, ConcOutcome, ConcSpec, ProcState,
 };
 pub use differential::{run_differential, DiffOutcome, DiffSpec};
+pub use storediff::{
+    assert_store_differential, run_partitioned_concurrent, run_partitioned_serial, StoreOutcome,
+    StoreRun, StoreSpec,
+};
 pub use w5_obs::{histogram, Histogram};
 pub use population::{build_population, PopulationConfig, World};
 pub use table::Table;

@@ -30,6 +30,7 @@ pub mod subject;
 
 pub use fs::{FileMeta, FsError, LabeledFs};
 pub use sql::{
-    Database, QueryCost, QueryError, QueryMode, QueryOutput, Row, SqlError, Value,
+    Database, Executor, PartitionedExec, QueryCost, QueryError, QueryMode, QueryOutput,
+    ReferenceExec, Row, SqlError, Value,
 };
 pub use subject::{FlowMemo, Subject};

@@ -12,6 +12,10 @@ pub enum Statement {
     },
     /// `DROP TABLE name`
     DropTable { name: String },
+    /// `CREATE INDEX [name] ON table (column)` — a secondary
+    /// equality/range index. The optional index name is accepted for
+    /// familiarity and discarded: indexes are addressed by (table, column).
+    CreateIndex { table: String, column: String },
     /// `INSERT INTO name [(cols)] VALUES (…), (…)`
     Insert {
         table: String,

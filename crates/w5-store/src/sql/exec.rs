@@ -1,15 +1,45 @@
 //! Query execution over labeled rows.
+//!
+//! Execution is split between a shared statement pipeline (parse, validate,
+//! stage, order, project) and an [`Executor`] that decides *which rows a
+//! statement visits and what each visit costs*:
+//!
+//! * [`ReferenceExec`] — the seed engine's scan, kept verbatim: every row
+//!   in insertion order, one memoized flow check per row, one budget unit
+//!   per row. It exists as the differential baseline (`w5-sim`'s store
+//!   oracle runs every workload against both executors) and as the
+//!   yardstick for `bench_store_json`.
+//! * [`PartitionedExec`] — the production engine. Rows live in label
+//!   partitions (see [`storage`](super::storage)), so visibility is decided
+//!   **once per partition**; unreadable partitions are skipped wholesale
+//!   for a flat one-unit charge, and WHERE clauses on indexed columns are
+//!   served from sorted runs via [`plan`](super::plan) pushdown, visiting
+//!   (and charging) only candidate rows.
+//!
+//! ## Label-safe cost accounting
+//!
+//! `QueryOutput::scanned` is part of the observable surface (the platform
+//! charges CPU by it), so it must not leak hidden state. Under
+//! [`PartitionedExec`] a skipped unreadable partition costs exactly **one
+//! unit regardless of its row count**: what a subject can observe through
+//! `scanned` or a `BudgetExhausted` verdict depends only on rows it may
+//! read plus the number of distinct hidden label pairs — never on how many
+//! rows hide behind them. (`tests/noninterference.rs` proves this by
+//! differencing two worlds whose hidden partitions differ only in size.)
+//! Index-pruned rows are never visited and never charged.
 
 use super::ast::{BinOp, Expr, SelectItem, Statement};
 use super::lexer::SqlError;
 use super::parser::parse;
+use super::plan;
+use super::storage::{col_index, RowLoc, StoredRow, Table};
 use super::value::{like_match, ColumnType, Value};
-use crate::subject::Subject;
+use crate::subject::{FlowMemo, Subject};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use w5_difc::{LabelPair, PairId};
+use w5_difc::{LabelPair, PairId, PairIdMap};
 
 /// How the engine treats rows the subject may not read. See the module docs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,44 +141,252 @@ pub struct QueryOutput {
     pub labels: LabelPair,
     /// Rows inserted/updated/deleted by DML.
     pub affected: usize,
-    /// Row visits consumed (cost accounting).
+    /// Cost units consumed (see the module docs: per row visited, plus one
+    /// per unreadable partition skipped under [`PartitionedExec`]).
     pub scanned: u64,
 }
 
-/// A stored row. Labels are held as an interned [`PairId`] — a `Copy`
-/// 8-byte handle — so per-row flow checks during scans are integer-keyed
-/// memo probes and stamping/combining labels never clones tag vectors.
-#[derive(Clone, Debug)]
-struct StoredRow {
-    values: Vec<Value>,
-    labels: PairId,
+/// The rows a statement's scan matched, plus what the scan cost.
+pub struct Scan {
+    /// Matching row locations, in executor-dependent order. The pipeline
+    /// re-sorts by insertion sequence before anything observable happens.
+    pub locs: Vec<RowLoc>,
+    /// Cost units consumed.
+    pub scanned: u64,
 }
 
-#[derive(Clone, Debug)]
-struct Table {
-    columns: Vec<(String, ColumnType)>,
-    rows: Vec<StoredRow>,
+/// A row-visiting strategy: everything between "a statement needs rows from
+/// this table" and "these rows matched, at this cost". Implementations
+/// must agree on *which* rows match (the differential oracle enforces it);
+/// they are free to disagree on visiting order and on cost.
+///
+/// The trait is object-safe and the `Database` holds one behind an `Arc`,
+/// so a process can run reference and partitioned stores side by side over
+/// identical data — which is exactly what `w5-sim`'s store oracle does.
+pub trait Executor: Send + Sync {
+    /// A short stable name for benches, metrics and oracle reports.
+    fn name(&self) -> &'static str;
+
+    /// Visit `t`'s rows and return those that are visible under `mode`,
+    /// satisfy `filter`, and (when `write` is set) are writable by the
+    /// subject — a `WriteDenied` on any matching row aborts the scan.
+    /// Budget is charged per the executor's cost model.
+    fn scan(
+        &self,
+        t: &Table,
+        memo: &mut FlowMemo<'_>,
+        mode: QueryMode,
+        cost: QueryCost,
+        filter: Option<&Expr>,
+        write: bool,
+    ) -> Result<Scan, QueryError>;
+
+    /// All rows visible under `mode`, in insertion order. Used as the join
+    /// prefilter; charges nothing (joins budget the candidate *pair* count
+    /// instead).
+    fn visible(&self, t: &Table, memo: &mut FlowMemo<'_>, mode: QueryMode) -> Vec<RowLoc>;
 }
 
-impl Table {
-    fn col_index(&self, name: &str) -> Result<usize, QueryError> {
-        self.columns
-            .iter()
-            .position(|(n, _)| n == name)
-            .ok_or_else(|| QueryError::NoSuchColumn(name.to_string()))
+/// The seed engine's scan, preserved verbatim: every row in insertion
+/// order, one memoized per-row flow check, one budget unit per row visited.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReferenceExec;
+
+impl Executor for ReferenceExec {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn scan(
+        &self,
+        t: &Table,
+        memo: &mut FlowMemo<'_>,
+        mode: QueryMode,
+        cost: QueryCost,
+        filter: Option<&Expr>,
+        write: bool,
+    ) -> Result<Scan, QueryError> {
+        let mut order = all_locs(t);
+        order.sort_unstable_by_key(|l| l.seq);
+        let mut scanned = 0u64;
+        let mut locs = Vec::new();
+        for loc in order {
+            scanned += 1;
+            if scanned > cost.max_rows_scanned {
+                return Err(QueryError::BudgetExhausted);
+            }
+            let part = &t.partitions[loc.part];
+            if mode == QueryMode::Filtered && !memo.may_read(part.labels) {
+                continue;
+            }
+            if let Some(f) = filter {
+                if !eval(f, &t.columns, &part.rows[loc.row].values)?.is_truthy() {
+                    continue;
+                }
+            }
+            if write && !memo.may_write(part.labels) {
+                return Err(QueryError::WriteDenied);
+            }
+            locs.push(loc);
+        }
+        Ok(Scan { locs, scanned })
+    }
+
+    fn visible(&self, t: &Table, memo: &mut FlowMemo<'_>, mode: QueryMode) -> Vec<RowLoc> {
+        let mut order = all_locs(t);
+        order.sort_unstable_by_key(|l| l.seq);
+        order.retain(|l| {
+            mode == QueryMode::Naive || memo.may_read(t.partitions[l.part].labels)
+        });
+        order
     }
 }
 
+/// The partitioned engine: per-partition visibility, one-unit skip charges,
+/// and index-probe pushdown. See the module docs for the cost model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PartitionedExec;
+
+impl Executor for PartitionedExec {
+    fn name(&self) -> &'static str {
+        "partitioned"
+    }
+
+    fn scan(
+        &self,
+        t: &Table,
+        memo: &mut FlowMemo<'_>,
+        mode: QueryMode,
+        cost: QueryCost,
+        filter: Option<&Expr>,
+        write: bool,
+    ) -> Result<Scan, QueryError> {
+        let push = filter.and_then(|f| plan::pushdown(t, f));
+        let mut scanned = 0u64;
+        let mut locs = Vec::new();
+        let mut cands: Vec<u32> = Vec::new();
+        for (pi, part) in t.partitions.iter().enumerate() {
+            if part.rows.is_empty() {
+                // Unreachable by invariant (empty partitions are dropped);
+                // charging nothing keeps it harmless if that ever changes.
+                continue;
+            }
+            if mode == QueryMode::Filtered && !memo.may_read(part.labels) {
+                // The label-safe skip: one flat unit, whatever the size.
+                scanned += 1;
+                if scanned > cost.max_rows_scanned {
+                    return Err(QueryError::BudgetExhausted);
+                }
+                continue;
+            }
+            let probed: Option<&[u32]> = match &push {
+                None => None,
+                Some(p) => {
+                    cands.clear();
+                    let slot = t.run_slot(p.col).expect("pushdown targets an indexed column");
+                    let run = &part.runs[slot];
+                    match &p.eq {
+                        Some(v) => run.probe_eq(v, &mut cands),
+                        None => run.probe_range(p.lo.as_ref(), p.hi.as_ref(), &mut cands),
+                    }
+                    // Visit candidates in row order so within-partition
+                    // behaviour (and any eval-error surfacing) is stable.
+                    cands.sort_unstable();
+                    Some(&cands)
+                }
+            };
+            let mut write_ok = false;
+            let n = probed.map_or(part.rows.len(), <[u32]>::len);
+            for k in 0..n {
+                let ri = probed.map_or(k, |c| c[k] as usize);
+                scanned += 1;
+                if scanned > cost.max_rows_scanned {
+                    return Err(QueryError::BudgetExhausted);
+                }
+                let row = &part.rows[ri];
+                if let Some(f) = filter {
+                    if !eval(f, &t.columns, &row.values)?.is_truthy() {
+                        continue;
+                    }
+                }
+                if write && !write_ok {
+                    // One write check per partition with a matching row:
+                    // labels are uniform, so the verdict is too.
+                    if !memo.may_write(part.labels) {
+                        return Err(QueryError::WriteDenied);
+                    }
+                    write_ok = true;
+                }
+                locs.push(RowLoc { part: pi, row: ri, seq: row.seq });
+            }
+        }
+        Ok(Scan { locs, scanned })
+    }
+
+    fn visible(&self, t: &Table, memo: &mut FlowMemo<'_>, mode: QueryMode) -> Vec<RowLoc> {
+        let mut locs = Vec::new();
+        for (pi, part) in t.partitions.iter().enumerate() {
+            if mode == QueryMode::Filtered && !memo.may_read(part.labels) {
+                continue;
+            }
+            locs.extend(
+                part.rows
+                    .iter()
+                    .enumerate()
+                    .map(|(ri, r)| RowLoc { part: pi, row: ri, seq: r.seq }),
+            );
+        }
+        locs.sort_unstable_by_key(|l| l.seq);
+        locs
+    }
+}
+
+fn all_locs(t: &Table) -> Vec<RowLoc> {
+    let mut locs = Vec::with_capacity(t.row_count());
+    for (pi, part) in t.partitions.iter().enumerate() {
+        locs.extend(
+            part.rows
+                .iter()
+                .enumerate()
+                .map(|(ri, r)| RowLoc { part: pi, row: ri, seq: r.seq }),
+        );
+    }
+    locs
+}
+
 /// A labeled database. Cheap to clone (shared state).
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Database {
     tables: Arc<RwLock<HashMap<String, Table>>>,
+    exec: Arc<dyn Executor>,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database::new()
+    }
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty database on the partitioned executor (production default).
     pub fn new() -> Database {
-        Database::default()
+        Database::with_executor(Arc::new(PartitionedExec))
+    }
+
+    /// An empty database on the verbatim seed-era scan executor — the
+    /// differential baseline.
+    pub fn reference() -> Database {
+        Database::with_executor(Arc::new(ReferenceExec))
+    }
+
+    /// An empty database on a caller-supplied executor.
+    pub fn with_executor(exec: Arc<dyn Executor>) -> Database {
+        Database { tables: Arc::default(), exec }
+    }
+
+    /// The active executor's name (benches, oracle reports).
+    pub fn executor_name(&self) -> &'static str {
+        self.exec.name()
     }
 
     /// Parse and execute one statement.
@@ -187,6 +425,10 @@ impl Database {
         match stmt {
             Statement::CreateTable { name, columns } => self.create_table(&name, columns),
             Statement::DropTable { name } => self.drop_table(subject, &name),
+            Statement::CreateIndex { table, column } => {
+                self.create_index(&table, &column)?;
+                Ok(empty_output())
+            }
             Statement::Insert { table, columns, rows } => {
                 self.insert(subject, insert_labels, &table, columns, rows)
             }
@@ -211,7 +453,22 @@ impl Database {
 
     /// Total stored rows across tables (trusted accounting).
     pub fn total_rows(&self) -> usize {
-        self.tables.read().values().map(|t| t.rows.len()).sum()
+        self.tables.read().values().map(Table::row_count).sum()
+    }
+
+    /// Create a secondary equality/range index on `table.column`.
+    /// Idempotent. Indexes are schema metadata: like table and column
+    /// names they are public, and building one never widens visibility —
+    /// runs only ever prune the rows a query *visits*, inside partitions
+    /// the subject already passed the flow check for.
+    pub fn create_index(&self, table: &str, column: &str) -> Result<(), QueryError> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| QueryError::NoSuchTable(table.to_string()))?;
+        let ci = t.col_index(column)?;
+        t.add_index(ci);
+        Ok(())
     }
 
     /// Per-table census of row labels: for each table, the distinct label
@@ -224,13 +481,10 @@ impl Database {
         let mut out: Vec<(String, Vec<(LabelPair, usize)>)> = tables
             .iter()
             .map(|(name, t)| {
-                let mut counts: HashMap<PairId, usize> = HashMap::new();
-                for row in &t.rows {
-                    *counts.entry(row.labels).or_insert(0) += 1;
-                }
-                let mut entries: Vec<(LabelPair, usize)> = counts
-                    .into_iter()
-                    .map(|(id, n)| (id.resolve(), n))
+                let mut entries: Vec<(LabelPair, usize)> = t
+                    .partitions
+                    .iter()
+                    .map(|p| (p.labels.resolve(), p.rows.len()))
                     .collect();
                 entries.sort_by(|a, b| {
                     (a.0.secrecy.as_slice(), a.0.integrity.as_slice())
@@ -252,7 +506,7 @@ impl Database {
         if tables.contains_key(name) {
             return Err(QueryError::TableExists(name.to_string()));
         }
-        tables.insert(name.to_string(), Table { columns, rows: Vec::new() });
+        tables.insert(name.to_string(), Table::new(columns));
         Ok(empty_output())
     }
 
@@ -262,10 +516,12 @@ impl Database {
             .get(name)
             .ok_or_else(|| QueryError::NoSuchTable(name.to_string()))?;
         // Dropping destroys every row, so it is a write to each of them.
-        // The check is uniform over all rows (visible or not) to avoid
-        // turning DROP into an existence oracle.
+        // The check is uniform over all partitions (visible or not) to
+        // avoid turning DROP into an existence oracle; labels are uniform
+        // within a partition, so per-partition is verdict-equivalent to
+        // the seed engine's per-row pass.
         let mut memo = subject.memo();
-        if !t.rows.iter().all(|r| memo.may_write(r.labels)) {
+        if !t.partitions.iter().all(|p| memo.may_write(p.labels)) {
             return Err(QueryError::WriteDenied);
         }
         tables.remove(name);
@@ -316,10 +572,13 @@ impl Database {
                 }
                 values[ix] = v;
             }
-            staged.push(StoredRow { values, labels: insert_id });
+            staged.push(values);
         }
+        // All rows validated: apply atomically.
         let n = staged.len();
-        t.rows.extend(staged);
+        for values in staged {
+            t.insert_row(insert_id, values);
+        }
         Ok(QueryOutput { affected: n, ..empty_output() })
     }
 
@@ -349,38 +608,38 @@ impl Database {
                 let t2 = tables
                     .get(&j.table)
                     .ok_or_else(|| QueryError::NoSuchTable(j.table.clone()))?;
-                Some(join_tables(subject, mode, cost, table, t, &j.table, t2, &j.left, &j.right)?)
+                Some(join_tables(
+                    self.exec.as_ref(),
+                    subject,
+                    mode,
+                    cost,
+                    table,
+                    t,
+                    &j.table,
+                    t2,
+                    &j.left,
+                    &j.right,
+                )?)
             }
         };
         let t = joined.as_ref().unwrap_or(t);
 
-        validate_columns(t, filter.as_ref())?;
+        validate_columns(&t.columns, filter.as_ref())?;
 
-        // Scan by reference: rows rejected by the label check or the
-        // predicate cost one memoized id-keyed check and zero clones.
         let mut memo = subject.memo();
-        let mut scanned = 0u64;
-        let mut hits: Vec<&StoredRow> = Vec::new();
-        for row in &t.rows {
-            scanned += 1;
-            if scanned > cost.max_rows_scanned {
-                return Err(QueryError::BudgetExhausted);
-            }
-            if mode == QueryMode::Filtered && !memo.may_read(row.labels) {
-                continue;
-            }
-            if let Some(f) = &filter {
-                if !eval(f, t, &row.values)?.is_truthy() {
-                    continue;
-                }
-            }
-            hits.push(row);
-        }
+        let Scan { mut locs, scanned } =
+            self.exec.scan(t, &mut memo, mode, cost, filter.as_ref(), false)?;
+        // Back to insertion order: the executors may visit partition-major.
+        locs.sort_unstable_by_key(|l| l.seq);
+        let mut hits: Vec<(&StoredRow, PairId)> = locs
+            .iter()
+            .map(|l| (&t.partitions[l.part].rows[l.row], t.partitions[l.part].labels))
+            .collect();
 
         if let Some((col, asc)) = &order_by {
             let ix = t.col_index(col)?;
             hits.sort_by(|a, b| {
-                let ord = a.values[ix].order(&b.values[ix]);
+                let ord = a.0.values[ix].order(&b.0.values[ix]);
                 if *asc {
                     ord
                 } else {
@@ -394,7 +653,7 @@ impl Database {
 
         // Combined labels over contributing rows: an id-level fold whose
         // self-combine fast path makes the homogeneous-label scan free.
-        let label_id = combine_labels(hits.iter().map(|r| r.labels));
+        let label_id = combine_labels(hits.iter().map(|&(_, id)| id));
         let labels = label_id.resolve();
 
         let is_agg = items.iter().any(SelectItem::is_aggregate);
@@ -403,7 +662,7 @@ impl Database {
             let mut headers = Vec::with_capacity(items.len());
             for item in &items {
                 headers.push(item.header());
-                values.push(aggregate(item, t, &hits)?);
+                values.push(aggregate(item, &t.columns, &hits)?);
             }
             return Ok(QueryOutput {
                 columns: headers,
@@ -442,17 +701,16 @@ impl Database {
             }
         }
         let mut rows = Vec::with_capacity(hits.len());
-        let mut resolved: HashMap<PairId, LabelPair> = HashMap::new();
-        for r in &hits {
+        let mut resolved: PairIdMap<LabelPair> = PairIdMap::default();
+        for &(r, id) in &hits {
             let mut values = Vec::with_capacity(proj.len());
             for p in &proj {
                 values.push(match p {
                     Projection::Col(i) => r.values[*i].clone(),
-                    Projection::Expr(e) => eval(e, t, &r.values)?,
+                    Projection::Expr(e) => eval(e, &t.columns, &r.values)?,
                 });
             }
-            let labels =
-                resolved.entry(r.labels).or_insert_with(|| r.labels.resolve()).clone();
+            let labels = resolved.entry(id).or_insert_with(|| id.resolve()).clone();
             rows.push(Row { values, labels });
         }
         Ok(QueryOutput { columns: headers, rows, labels, affected: 0, scanned })
@@ -471,56 +729,48 @@ impl Database {
         let t = tables
             .get_mut(table)
             .ok_or_else(|| QueryError::NoSuchTable(table.to_string()))?;
-        validate_columns(t, filter.as_ref())?;
+        validate_columns(&t.columns, filter.as_ref())?;
         let set_idx: Vec<(usize, Expr)> = sets
             .into_iter()
             .map(|(c, e)| t.col_index(&c).map(|i| (i, e)))
             .collect::<Result<_, _>>()?;
 
         let mut memo = subject.memo();
-        let mut scanned = 0u64;
-        let mut affected = 0usize;
-        // Two passes: decide, then apply — so a WriteDenied aborts the whole
-        // statement atomically.
-        let mut to_update = Vec::new();
-        for (ri, row) in t.rows.iter().enumerate() {
-            scanned += 1;
-            if scanned > cost.max_rows_scanned {
-                return Err(QueryError::BudgetExhausted);
-            }
-            if mode == QueryMode::Filtered && !memo.may_read(row.labels) {
-                continue;
-            }
-            if let Some(f) = &filter {
-                if !eval(f, t, &row.values)?.is_truthy() {
-                    continue;
-                }
-            }
-            if !memo.may_write(row.labels) {
-                return Err(QueryError::WriteDenied);
-            }
-            to_update.push(ri);
-        }
-        // Precompute new values (set expressions may reference old values).
-        let mut staged: Vec<(usize, Vec<(usize, Value)>)> = Vec::with_capacity(to_update.len());
-        for &ri in &to_update {
-            let row = &t.rows[ri];
+        let Scan { mut locs, scanned } =
+            self.exec.scan(t, &mut memo, mode, cost, filter.as_ref(), true)?;
+        // Stage in insertion order so SET-expression evaluation (and any
+        // error it surfaces) is executor-independent; apply only once every
+        // row staged cleanly — a failure aborts the whole statement.
+        locs.sort_unstable_by_key(|l| l.seq);
+        let mut staged: Vec<(RowLoc, Vec<(usize, Value)>)> = Vec::with_capacity(locs.len());
+        for &loc in &locs {
+            let row = &t.partitions[loc.part].rows[loc.row];
             let mut cells = Vec::with_capacity(set_idx.len());
             for (ci, e) in &set_idx {
-                let v = eval(e, t, &row.values)?;
+                let v = eval(e, &t.columns, &row.values)?;
                 let (ref cname, cty) = t.columns[*ci];
                 if !v.fits(cty) {
                     return Err(QueryError::TypeMismatch { column: cname.clone(), expected: cty });
                 }
                 cells.push((*ci, v));
             }
-            staged.push((ri, cells));
+            staged.push((loc, cells));
         }
-        for (ri, cells) in staged {
+        let affected = staged.len();
+        for (loc, cells) in staged {
             for (ci, v) in cells {
-                t.rows[ri].values[ci] = v;
+                t.partitions[loc.part].rows[loc.row].values[ci] = v;
             }
-            affected += 1;
+        }
+        // Index maintenance: rewriting an indexed column invalidates the
+        // touched partitions' runs.
+        if set_idx.iter().any(|(ci, _)| t.run_slot(*ci).is_some()) {
+            let mut parts: Vec<usize> = locs.iter().map(|l| l.part).collect();
+            parts.sort_unstable();
+            parts.dedup();
+            for pi in parts {
+                t.rebuild_runs(pi);
+            }
         }
         Ok(QueryOutput { affected, scanned, ..empty_output() })
     }
@@ -537,37 +787,34 @@ impl Database {
         let t = tables
             .get_mut(table)
             .ok_or_else(|| QueryError::NoSuchTable(table.to_string()))?;
-        validate_columns(t, filter.as_ref())?;
-        // Mark pass (immutable), then sweep — so WriteDenied and budget
-        // errors abort the statement without partial effects.
+        validate_columns(&t.columns, filter.as_ref())?;
+        // Mark (scan), then sweep — so WriteDenied and budget errors abort
+        // the statement without partial effects.
         let mut memo = subject.memo();
-        let mut scanned = 0u64;
-        let mut doomed = vec![false; t.rows.len()];
-        for (ri, row) in t.rows.iter().enumerate() {
-            scanned += 1;
-            if scanned > cost.max_rows_scanned {
-                return Err(QueryError::BudgetExhausted);
+        let Scan { locs, scanned } =
+            self.exec.scan(t, &mut memo, mode, cost, filter.as_ref(), true)?;
+        let affected = locs.len();
+        if affected > 0 {
+            let mut doomed: Vec<Option<Vec<bool>>> = vec![None; t.partitions.len()];
+            for l in &locs {
+                let n = t.partitions[l.part].rows.len();
+                doomed[l.part].get_or_insert_with(|| vec![false; n])[l.row] = true;
             }
-            if mode == QueryMode::Filtered && !memo.may_read(row.labels) {
-                continue;
-            }
-            if let Some(f) = &filter {
-                if !eval(f, t, &row.values)?.is_truthy() {
-                    continue;
+            for (pi, d) in doomed.iter().enumerate() {
+                let Some(d) = d else { continue };
+                let mut i = 0;
+                t.partitions[pi].rows.retain(|_| {
+                    let keep = !d[i];
+                    i += 1;
+                    keep
+                });
+                if !t.partitions[pi].rows.is_empty() {
+                    // Surviving rows shifted: rebuild this partition's runs.
+                    t.rebuild_runs(pi);
                 }
             }
-            if !memo.may_write(row.labels) {
-                return Err(QueryError::WriteDenied);
-            }
-            doomed[ri] = true;
+            t.drop_empty_partitions();
         }
-        let affected = doomed.iter().filter(|&&d| d).count();
-        let mut ri = 0;
-        t.rows.retain(|_| {
-            let keep = !doomed[ri];
-            ri += 1;
-            keep
-        });
         Ok(QueryOutput { affected, scanned, ..empty_output() })
     }
 }
@@ -580,10 +827,12 @@ enum Projection {
 /// Materialize an inner equi-join as a temporary table whose columns are
 /// qualified (`left.col`, `right.col`). Row labels combine the two source
 /// rows' labels — derived data carries both provenances. Visibility
-/// filtering happens per *source* row, so invisible rows can never
-/// influence the join output.
+/// filtering happens per *source* row (via the executor's prefilter, so
+/// the partitioned engine decides it per partition), and invisible rows
+/// can never influence the join output.
 #[allow(clippy::too_many_arguments)]
 fn join_tables(
+    exec: &dyn Executor,
     subject: &Subject,
     mode: QueryMode,
     cost: QueryCost,
@@ -618,36 +867,31 @@ fn join_tables(
     let ri = right.col_index(&rcol)?;
 
     let mut memo = subject.memo();
-    let mut visible = |rows: &[StoredRow]| -> Vec<usize> {
-        rows.iter()
-            .enumerate()
-            .filter(|(_, r)| mode == QueryMode::Naive || memo.may_read(r.labels))
-            .map(|(i, _)| i)
-            .collect()
-    };
-    let lvis = visible(&left.rows);
-    let rvis = visible(&right.rows);
+    let lvis = exec.visible(left, &mut memo, mode);
+    let rvis = exec.visible(right, &mut memo, mode);
 
     // Nested-loop join with the pair count charged against the budget.
     let pairs = lvis.len() as u64 * rvis.len() as u64;
     if pairs > cost.max_rows_scanned {
         return Err(QueryError::BudgetExhausted);
     }
-    let mut rows = Vec::new();
-    for &a in &lvis {
-        let lrow = &left.rows[a];
-        for &b in &rvis {
-            let rrow = &right.rows[b];
+    let mut out = Table::new(columns);
+    for a in &lvis {
+        let lpart = &left.partitions[a.part];
+        let lrow = &lpart.rows[a.row];
+        for b in &rvis {
+            let rpart = &right.partitions[b.part];
+            let rrow = &rpart.rows[b.row];
             if lrow.values[li].sql_eq(&rrow.values[ri]) != Value::Bool(true) {
                 continue;
             }
-            let mut values = Vec::with_capacity(columns.len());
+            let mut values = Vec::with_capacity(out.columns.len());
             values.extend(lrow.values.iter().cloned());
             values.extend(rrow.values.iter().cloned());
-            rows.push(StoredRow { values, labels: lrow.labels.combine(rrow.labels) });
+            out.insert_row(lpart.labels.combine(rpart.labels), values);
         }
     }
-    Ok(Table { columns, rows })
+    Ok(out)
 }
 
 fn empty_output() -> QueryOutput {
@@ -662,12 +906,15 @@ fn empty_output() -> QueryOutput {
 
 /// Validate that every column a filter references exists, so "no such
 /// column" errors surface deterministically (not only when a row matches).
-fn validate_columns(t: &Table, filter: Option<&Expr>) -> Result<(), QueryError> {
+fn validate_columns(
+    cols: &[(String, ColumnType)],
+    filter: Option<&Expr>,
+) -> Result<(), QueryError> {
     if let Some(f) = filter {
-        let mut cols = Vec::new();
-        f.columns(&mut cols);
-        for c in &cols {
-            t.col_index(c)?;
+        let mut names = Vec::new();
+        f.columns(&mut names);
+        for c in &names {
+            col_index(cols, c)?;
         }
     }
     Ok(())
@@ -685,18 +932,22 @@ fn combine_labels<I: Iterator<Item = PairId>>(mut labels: I) -> PairId {
     }
 }
 
-fn eval(expr: &Expr, table: &Table, row: &[Value]) -> Result<Value, QueryError> {
+fn eval(
+    expr: &Expr,
+    cols: &[(String, ColumnType)],
+    row: &[Value],
+) -> Result<Value, QueryError> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Column(c) => {
-            let i = table.col_index(c)?;
+            let i = col_index(cols, c)?;
             Ok(row[i].clone())
         }
         Expr::Not(e) => {
-            let v = eval(e, table, row)?;
+            let v = eval(e, cols, row)?;
             Ok(Value::Bool(!v.is_truthy()))
         }
-        Expr::Neg(e) => match eval(e, table, row)? {
+        Expr::Neg(e) => match eval(e, cols, row)? {
             Value::Int(i) => Ok(Value::Int(
                 i.checked_neg().ok_or_else(|| QueryError::Eval("integer overflow".into()))?,
             )),
@@ -704,7 +955,7 @@ fn eval(expr: &Expr, table: &Table, row: &[Value]) -> Result<Value, QueryError> 
             _ => Err(QueryError::Eval("cannot negate a non-integer".into())),
         },
         Expr::IsNull { expr, negated } => {
-            let v = eval(expr, table, row)?;
+            let v = eval(expr, cols, row)?;
             let isnull = matches!(v, Value::Null);
             Ok(Value::Bool(isnull != *negated))
         }
@@ -712,21 +963,21 @@ fn eval(expr: &Expr, table: &Table, row: &[Value]) -> Result<Value, QueryError> 
             use BinOp::*;
             // Short-circuit logic first.
             if *op == And {
-                let l = eval(left, table, row)?;
+                let l = eval(left, cols, row)?;
                 if !l.is_truthy() {
                     return Ok(Value::Bool(false));
                 }
-                return Ok(Value::Bool(eval(right, table, row)?.is_truthy()));
+                return Ok(Value::Bool(eval(right, cols, row)?.is_truthy()));
             }
             if *op == Or {
-                let l = eval(left, table, row)?;
+                let l = eval(left, cols, row)?;
                 if l.is_truthy() {
                     return Ok(Value::Bool(true));
                 }
-                return Ok(Value::Bool(eval(right, table, row)?.is_truthy()));
+                return Ok(Value::Bool(eval(right, cols, row)?.is_truthy()));
             }
-            let l = eval(left, table, row)?;
-            let r = eval(right, table, row)?;
+            let l = eval(left, cols, row)?;
+            let r = eval(right, cols, row)?;
             if matches!(l, Value::Null) || matches!(r, Value::Null) {
                 return Ok(Value::Null);
             }
@@ -788,24 +1039,27 @@ fn eval(expr: &Expr, table: &Table, row: &[Value]) -> Result<Value, QueryError> 
 
 /// Evaluate an expression with no row context (INSERT values).
 fn eval_const(expr: &Expr) -> Result<Value, QueryError> {
-    static EMPTY: Table = Table { columns: Vec::new(), rows: Vec::new() };
-    eval(expr, &EMPTY, &[])
+    eval(expr, &[], &[])
 }
 
-fn aggregate(item: &SelectItem, t: &Table, hits: &[&StoredRow]) -> Result<Value, QueryError> {
+fn aggregate(
+    item: &SelectItem,
+    cols: &[(String, ColumnType)],
+    hits: &[(&StoredRow, PairId)],
+) -> Result<Value, QueryError> {
     match item {
         SelectItem::CountStar => Ok(Value::Int(hits.len() as i64)),
         SelectItem::Count(c) => {
-            let i = t.col_index(c)?;
+            let i = col_index(cols, c)?;
             Ok(Value::Int(
-                hits.iter().filter(|r| !matches!(r.values[i], Value::Null)).count() as i64,
+                hits.iter().filter(|(r, _)| !matches!(r.values[i], Value::Null)).count() as i64,
             ))
         }
         SelectItem::Sum(c) => {
-            let i = t.col_index(c)?;
+            let i = col_index(cols, c)?;
             let mut sum = 0i64;
             let mut any = false;
-            for r in hits {
+            for (r, _) in hits {
                 match &r.values[i] {
                     Value::Int(v) => {
                         sum = sum
@@ -820,10 +1074,10 @@ fn aggregate(item: &SelectItem, t: &Table, hits: &[&StoredRow]) -> Result<Value,
             Ok(if any { Value::Int(sum) } else { Value::Null })
         }
         SelectItem::Min(c) | SelectItem::Max(c) => {
-            let i = t.col_index(c)?;
+            let i = col_index(cols, c)?;
             let want_min = matches!(item, SelectItem::Min(_));
             let mut best: Option<Value> = None;
-            for r in hits {
+            for (r, _) in hits {
                 let v = &r.values[i];
                 if matches!(v, Value::Null) {
                     continue;

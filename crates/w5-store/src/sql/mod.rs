@@ -5,6 +5,7 @@
 //! ```sql
 //! CREATE TABLE t (id INTEGER, name TEXT, ok BOOLEAN)
 //! DROP TABLE t
+//! CREATE INDEX t_id ON t (id)
 //! INSERT INTO t (id, name, ok) VALUES (1, 'x', TRUE), (2, 'y', FALSE)
 //! SELECT * FROM t WHERE id >= 1 AND name LIKE 'x%' ORDER BY id DESC LIMIT 10
 //! SELECT COUNT(*), SUM(id), MIN(id), MAX(id) FROM t
@@ -27,15 +28,29 @@
 //! Every query runs under a [`QueryCost`] budget; a pathological query is
 //! aborted once it has visited its row budget ("prevent malicious queries
 //! from locking the database", §3.5).
+//!
+//! Storage is **label-partitioned** (see [`exec`]'s module docs): rows with
+//! identical label pairs live contiguously, so the production executor
+//! ([`PartitionedExec`]) performs one flow check per partition, skips
+//! unreadable partitions wholesale at a flat label-safe cost, and serves
+//! indexed `WHERE` clauses from per-partition sorted runs. The seed-era
+//! per-row scan survives as [`ReferenceExec`] — the baseline for the
+//! differential oracle in `w5-sim` and the store benchmarks.
 
 mod ast;
 mod exec;
 mod lexer;
 mod parser;
+mod plan;
+mod storage;
 mod value;
 
 pub use ast::{Expr, SelectItem, Statement};
-pub use exec::{Database, QueryCost, QueryError, QueryMode, QueryOutput, Row};
+pub use exec::{
+    Database, Executor, PartitionedExec, QueryCost, QueryError, QueryMode, QueryOutput,
+    ReferenceExec, Row, Scan,
+};
 pub use lexer::SqlError;
 pub use parser::parse;
+pub use storage::{RowLoc, Table};
 pub use value::{ColumnType, Value};

@@ -81,7 +81,7 @@ impl Parser {
             "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
             "CREATE", "DROP", "TABLE", "ORDER", "BY", "LIMIT", "AND", "OR", "NOT", "TRUE",
             "FALSE", "NULL", "LIKE", "ASC", "DESC", "IS", "COUNT", "SUM", "MIN", "MAX",
-            "JOIN", "INNER", "ON",
+            "JOIN", "INNER", "ON", "INDEX",
         ];
         match self.peek().clone() {
             TokenKind::Word(upper, orig) => {
@@ -110,6 +110,18 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement, SqlError> {
         if self.eat_kw("CREATE") {
+            if self.eat_kw("INDEX") {
+                // Optional index name before ON; single-column indexes only.
+                if !matches!(self.peek(), TokenKind::Word(w, _) if w.as_str() == "ON") {
+                    self.ident()?;
+                }
+                self.expect_kw("ON")?;
+                let table = self.ident()?;
+                self.expect(TokenKind::LParen, "(")?;
+                let column = self.ident()?;
+                self.expect(TokenKind::RParen, ")")?;
+                return Ok(Statement::CreateIndex { table, column });
+            }
             self.expect_kw("TABLE")?;
             let name = self.ident()?;
             self.expect(TokenKind::LParen, "(")?;

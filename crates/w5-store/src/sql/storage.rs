@@ -1,0 +1,324 @@
+//! Label-partitioned table storage.
+//!
+//! A table's rows are grouped into **partitions keyed by their interned
+//! [`PairId`]**: every row in a partition carries exactly the same
+//! (secrecy, integrity) label pair. Visibility under DIFC is therefore a
+//! per-partition property — a query performs one flow check per partition
+//! and then either streams the partition wholesale or skips it wholesale,
+//! instead of probing the flow memo once per row.
+//!
+//! Each partition additionally carries one **sorted run per indexed
+//! column** (see [`SortedRun`]): a sorted main vector plus a small unsorted
+//! tail that absorbs inserts and is merged in amortized batches. Runs are
+//! maintained on the write path only — probes never mutate — so the read
+//! path stays lock-free inside the table's `RwLock` read guard.
+//!
+//! Invariant: partitions are never empty. A partition is created by the
+//! insert of its first row and dropped by the delete of its last, so the
+//! per-partition skip charge in the cost model (see `exec`) depends only on
+//! which distinct label pairs currently hold live rows.
+
+use super::value::{ColumnType, Value};
+use crate::sql::exec::QueryError;
+use std::cmp::Ordering;
+use w5_difc::{PairId, PairIdMap};
+
+/// A stored row: cell values plus the table-wide insertion sequence number.
+/// Scans from any executor are re-sorted by `seq` before ORDER BY / LIMIT /
+/// projection, which reproduces the flat-storage engine's insertion-order
+/// semantics exactly even though rows physically live partition-major.
+#[derive(Clone, Debug)]
+pub(crate) struct StoredRow {
+    pub(crate) seq: u64,
+    pub(crate) values: Vec<Value>,
+}
+
+/// The address of one stored row: partition index, row index within the
+/// partition, and the row's insertion sequence number (denormalized so
+/// result pipelines can order hits without chasing the partition again).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowLoc {
+    pub(crate) part: usize,
+    pub(crate) row: usize,
+    pub(crate) seq: u64,
+}
+
+/// One secondary index over one column of one partition: a main vector
+/// sorted by ([`Value::order`], row index) plus an unsorted insert tail.
+///
+/// Inserts append to the tail in O(1); once the tail outgrows
+/// `64 + main.len()/8` it is merged and re-sorted, so maintenance is
+/// amortized O(log n) per insert and probes touch `main` by binary search
+/// plus a short linear pass over the tail. Deletes and updates of indexed
+/// columns rebuild the affected partition's runs eagerly on the write path.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SortedRun {
+    main: Vec<(Value, u32)>,
+    tail: Vec<(Value, u32)>,
+}
+
+impl SortedRun {
+    fn entry_cmp(a: &(Value, u32), b: &(Value, u32)) -> Ordering {
+        a.0.order(&b.0).then(a.1.cmp(&b.1))
+    }
+
+    /// Build a run over `col` of every row in the partition.
+    pub(crate) fn build(rows: &[StoredRow], col: usize) -> SortedRun {
+        let mut main: Vec<(Value, u32)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.values[col].clone(), i as u32))
+            .collect();
+        main.sort_by(Self::entry_cmp);
+        SortedRun { main, tail: Vec::new() }
+    }
+
+    /// Record a newly appended row's value.
+    pub(crate) fn push(&mut self, v: Value, ix: u32) {
+        self.tail.push((v, ix));
+        if self.tail.len() >= 64 + self.main.len() / 8 {
+            self.main.append(&mut self.tail);
+            self.main.sort_by(Self::entry_cmp);
+        }
+    }
+
+    /// Row indexes whose value equals `v` under [`Value::order`]. NULL keys
+    /// never match (`sql_eq` with NULL is never true, so the caller never
+    /// probes with NULL).
+    pub(crate) fn probe_eq(&self, v: &Value, out: &mut Vec<u32>) {
+        let lo = self.main.partition_point(|e| e.0.order(v) == Ordering::Less);
+        let hi = self.main.partition_point(|e| e.0.order(v) != Ordering::Greater);
+        out.extend(self.main[lo..hi].iter().map(|e| e.1));
+        out.extend(
+            self.tail.iter().filter(|e| e.0.order(v) == Ordering::Equal).map(|e| e.1),
+        );
+    }
+
+    /// Row indexes within `(lo, hi)` under [`Value::order`]; each bound is
+    /// `(value, inclusive)`. The result only needs to be a *superset* of
+    /// the rows the original predicate accepts — the executor re-evaluates
+    /// the full filter on every candidate.
+    pub(crate) fn probe_range(
+        &self,
+        lo: Option<&(Value, bool)>,
+        hi: Option<&(Value, bool)>,
+        out: &mut Vec<u32>,
+    ) {
+        let below = |e: &(Value, u32), bound: &(Value, bool)| match e.0.order(&bound.0) {
+            Ordering::Less => true,
+            Ordering::Equal => !bound.1,
+            Ordering::Greater => false,
+        };
+        let start = match lo {
+            None => 0,
+            Some(b) => self.main.partition_point(|e| below(e, b)),
+        };
+        let not_past = |e: &(Value, u32), bound: &(Value, bool)| match e.0.order(&bound.0) {
+            Ordering::Less => true,
+            Ordering::Equal => bound.1,
+            Ordering::Greater => false,
+        };
+        let end = match hi {
+            None => self.main.len(),
+            Some(b) => self.main.partition_point(|e| not_past(e, b)),
+        };
+        if start < end {
+            out.extend(self.main[start..end].iter().map(|e| e.1));
+        }
+        out.extend(
+            self.tail
+                .iter()
+                .filter(|e| lo.is_none_or(|b| !below(e, b)) && hi.is_none_or(|b| not_past(e, b)))
+                .map(|e| e.1),
+        );
+    }
+}
+
+/// One label partition: a contiguous run of rows sharing `labels`, plus one
+/// sorted run per indexed column (parallel to [`Table::indexed`]).
+#[derive(Clone, Debug)]
+pub(crate) struct Partition {
+    pub(crate) labels: PairId,
+    pub(crate) rows: Vec<StoredRow>,
+    pub(crate) runs: Vec<SortedRun>,
+}
+
+/// A table: schema plus label partitions and their index runs.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    pub(crate) columns: Vec<(String, ColumnType)>,
+    pub(crate) partitions: Vec<Partition>,
+    /// Partition directory: interned label pair → index into `partitions`.
+    pub(crate) by_label: PairIdMap<usize>,
+    /// Indexed column positions, in index-creation order; `Partition::runs`
+    /// is parallel to this vector.
+    pub(crate) indexed: Vec<usize>,
+    /// Next insertion sequence number.
+    pub(crate) next_seq: u64,
+}
+
+/// Resolve a column name against a schema.
+pub(crate) fn col_index(
+    cols: &[(String, ColumnType)],
+    name: &str,
+) -> Result<usize, QueryError> {
+    cols.iter()
+        .position(|(n, _)| n == name)
+        .ok_or_else(|| QueryError::NoSuchColumn(name.to_string()))
+}
+
+impl Table {
+    pub(crate) fn new(columns: Vec<(String, ColumnType)>) -> Table {
+        Table { columns, ..Table::default() }
+    }
+
+    pub(crate) fn col_index(&self, name: &str) -> Result<usize, QueryError> {
+        col_index(&self.columns, name)
+    }
+
+    pub(crate) fn row_count(&self) -> usize {
+        self.partitions.iter().map(|p| p.rows.len()).sum()
+    }
+
+    /// The slot in `Partition::runs` serving column `col`, if indexed.
+    pub(crate) fn run_slot(&self, col: usize) -> Option<usize> {
+        self.indexed.iter().position(|&c| c == col)
+    }
+
+    /// Add a secondary index on `col`, building a run in every partition.
+    /// Idempotent; returns whether a new index was created.
+    pub(crate) fn add_index(&mut self, col: usize) -> bool {
+        if self.indexed.contains(&col) {
+            return false;
+        }
+        self.indexed.push(col);
+        for p in &mut self.partitions {
+            let run = SortedRun::build(&p.rows, col);
+            p.runs.push(run);
+        }
+        true
+    }
+
+    /// Append one row, routing it to (or creating) its label partition and
+    /// maintaining every index run.
+    pub(crate) fn insert_row(&mut self, labels: PairId, values: Vec<Value>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let pi = match self.by_label.get(&labels) {
+            Some(&i) => i,
+            None => {
+                let i = self.partitions.len();
+                self.partitions.push(Partition {
+                    labels,
+                    rows: Vec::new(),
+                    runs: self.indexed.iter().map(|_| SortedRun::default()).collect(),
+                });
+                self.by_label.insert(labels, i);
+                i
+            }
+        };
+        let p = &mut self.partitions[pi];
+        let ix = p.rows.len() as u32;
+        for (slot, &col) in self.indexed.iter().enumerate() {
+            p.runs[slot].push(values[col].clone(), ix);
+        }
+        p.rows.push(StoredRow { seq, values });
+    }
+
+    /// Rebuild every index run of partition `pi` (after deletes or updates
+    /// of indexed columns shifted or rewrote its rows).
+    pub(crate) fn rebuild_runs(&mut self, pi: usize) {
+        let p = &mut self.partitions[pi];
+        for (slot, &col) in self.indexed.iter().enumerate() {
+            let run = SortedRun::build(&p.rows, col);
+            p.runs[slot] = run;
+        }
+    }
+
+    /// Drop partitions whose last row was deleted, restoring the non-empty
+    /// invariant (and with it, label-safe skip accounting) and rebuilding
+    /// the partition directory.
+    pub(crate) fn drop_empty_partitions(&mut self) {
+        if self.partitions.iter().all(|p| !p.rows.is_empty()) {
+            return;
+        }
+        self.partitions.retain(|p| !p.rows.is_empty());
+        self.by_label =
+            self.partitions.iter().enumerate().map(|(i, p)| (p.labels, i)).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_of(vals: &[i64]) -> Vec<StoredRow> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| StoredRow { seq: i as u64, values: vec![Value::Int(v)] })
+            .collect()
+    }
+
+    #[test]
+    fn probe_eq_finds_all_duplicates_across_main_and_tail() {
+        let rows = rows_of(&[5, 3, 5, 1]);
+        let mut run = SortedRun::build(&rows, 0);
+        run.push(Value::Int(5), 4);
+        run.push(Value::Int(2), 5);
+        let mut out = Vec::new();
+        run.probe_eq(&Value::Int(5), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 2, 4]);
+        out.clear();
+        run.probe_eq(&Value::Int(9), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn probe_range_respects_inclusivity() {
+        let rows = rows_of(&[1, 2, 3, 4, 5]);
+        let mut run = SortedRun::build(&rows, 0);
+        run.push(Value::Int(6), 5);
+        let mut out = Vec::new();
+        // (2, 5]: exclusive low, inclusive high.
+        run.probe_range(
+            Some(&(Value::Int(2), false)),
+            Some(&(Value::Int(5), true)),
+            &mut out,
+        );
+        out.sort_unstable();
+        assert_eq!(out, vec![2, 3, 4]);
+        out.clear();
+        // [3, ∞): tail rows included.
+        run.probe_range(Some(&(Value::Int(3), true)), None, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn tail_merges_keep_probes_exact() {
+        let mut run = SortedRun::build(&[], 0);
+        for i in 0..1000u32 {
+            run.push(Value::Int(i64::from(i % 97)), i);
+        }
+        let mut out = Vec::new();
+        run.probe_eq(&Value::Int(13), &mut out);
+        let expect: Vec<u32> = (0..1000).filter(|i| i % 97 == 13).collect();
+        out.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn partitions_route_by_label_and_drop_when_empty() {
+        let a = PairId::PUBLIC;
+        let mut t = Table::new(vec![("n".into(), ColumnType::Integer)]);
+        t.insert_row(a, vec![Value::Int(1)]);
+        t.insert_row(a, vec![Value::Int(2)]);
+        assert_eq!(t.partitions.len(), 1);
+        assert_eq!(t.row_count(), 2);
+        t.partitions[0].rows.clear();
+        t.drop_empty_partitions();
+        assert!(t.partitions.is_empty());
+        assert!(t.by_label.is_empty());
+    }
+}

@@ -1,8 +1,6 @@
 //! The acting subject of a storage operation.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
-use w5_difc::{rules, CapSet, FlowCheck, LabelPair, PairId};
+use w5_difc::{rules, CapSet, FlowCheck, LabelPair, PairId, PairIdMap};
 
 /// A snapshot of the acting process's flow-control state: its labels and
 /// its *effective* capability set (private bag ∪ global bag).
@@ -66,32 +64,8 @@ impl Subject {
 /// within that scope they never stale.
 pub struct FlowMemo<'a> {
     subject: &'a Subject,
-    read: PairIdMap,
-    write: PairIdMap,
-}
-
-type PairIdMap = HashMap<PairId, bool, BuildHasherDefault<PairIdHasher>>;
-
-/// FNV-1a over the raw label ids. `PairId` keys are two small dense
-/// integers, so SipHash's DoS resistance buys nothing and its cost
-/// dominates the per-row probe this memo exists to make cheap.
-#[derive(Default)]
-struct PairIdHasher(u64);
-
-impl Hasher for PairIdHasher {
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100000001b3);
-        }
-    }
-
-    fn write_u32(&mut self, v: u32) {
-        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(0x100000001b3);
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
+    read: PairIdMap<bool>,
+    write: PairIdMap<bool>,
 }
 
 impl FlowMemo<'_> {
