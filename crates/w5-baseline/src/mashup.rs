@@ -10,7 +10,7 @@
 //! application on W5 could generate the annotated map on the server side,
 //! disallowing export of the address data to the map developers."
 
-use parking_lot::RwLock;
+use w5_sync::RwLock;
 
 /// An address-book entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,15 +22,20 @@ pub struct Contact {
 }
 
 /// The external map service; records everything sent to its API.
-#[derive(Default)]
 pub struct MapService {
     received: RwLock<Vec<String>>,
+}
+
+impl Default for MapService {
+    fn default() -> MapService {
+        MapService::new()
+    }
 }
 
 impl MapService {
     /// A fresh service.
     pub fn new() -> MapService {
-        MapService::default()
+        MapService { received: RwLock::new("baseline.mashup", Vec::new()) }
     }
 
     /// The marker-placement API: geocode an address, return a marker id.

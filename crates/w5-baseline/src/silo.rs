@@ -10,7 +10,7 @@
 //! cost of adopting the Nth application here versus on W5 (where it is
 //! one enrollment checkbox).
 
-use parking_lot::RwLock;
+use w5_sync::RwLock;
 use std::collections::HashMap;
 
 /// Operation counters per user (the E1 metric).
@@ -49,16 +49,24 @@ pub enum SiloError {
 }
 
 /// The whole siloed web: a collection of independent sites.
-#[derive(Default)]
 pub struct SiloedWeb {
     sites: RwLock<HashMap<String, Site>>,
     effort: RwLock<HashMap<String, UserEffort>>,
 }
 
+impl Default for SiloedWeb {
+    fn default() -> SiloedWeb {
+        SiloedWeb::new()
+    }
+}
+
 impl SiloedWeb {
     /// An empty web.
     pub fn new() -> SiloedWeb {
-        SiloedWeb::default()
+        SiloedWeb {
+            sites: RwLock::with_index("baseline.silo", 0, HashMap::new()),
+            effort: RwLock::with_index("baseline.silo", 1, HashMap::new()),
+        }
     }
 
     /// Launch a new application site.

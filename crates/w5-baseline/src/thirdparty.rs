@@ -11,23 +11,34 @@
 //! exposure ledger E2 tabulates. A W5 developer's ledger, by
 //! construction, stays empty: the code comes to the data.
 
-use parking_lot::RwLock;
+use w5_sync::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// A third-party developer's external server: receives user data, keeps
 /// it forever (that's the point).
-#[derive(Default)]
 pub struct DeveloperServer {
     /// Developer name.
     pub developer: String,
     seen: RwLock<Vec<(String, String)>>,
 }
 
+impl Default for DeveloperServer {
+    fn default() -> DeveloperServer {
+        DeveloperServer {
+            developer: String::new(),
+            seen: RwLock::with_index("baseline.thirdparty", 3, Vec::new()),
+        }
+    }
+}
+
 impl DeveloperServer {
     /// A server for one developer.
     pub fn new(developer: &str) -> Arc<DeveloperServer> {
-        Arc::new(DeveloperServer { developer: developer.to_string(), seen: RwLock::new(Vec::new()) })
+        Arc::new(DeveloperServer {
+            developer: developer.to_string(),
+            seen: RwLock::with_index("baseline.thirdparty", 3, Vec::new()),
+        })
     }
 
     /// The platform calls this with the user's data; the app returns HTML.
@@ -53,17 +64,26 @@ impl DeveloperServer {
 }
 
 /// The hosting platform: owns the data, forwards it to app developers.
-#[derive(Default)]
 pub struct ThirdPartyPlatform {
     profiles: RwLock<HashMap<String, String>>,
     apps: RwLock<HashMap<String, Arc<DeveloperServer>>>,
     installs: RwLock<HashMap<String, Vec<String>>>,
 }
 
+impl Default for ThirdPartyPlatform {
+    fn default() -> ThirdPartyPlatform {
+        ThirdPartyPlatform::new()
+    }
+}
+
 impl ThirdPartyPlatform {
     /// An empty platform.
     pub fn new() -> ThirdPartyPlatform {
-        ThirdPartyPlatform::default()
+        ThirdPartyPlatform {
+            profiles: RwLock::with_index("baseline.thirdparty", 0, HashMap::new()),
+            apps: RwLock::with_index("baseline.thirdparty", 1, HashMap::new()),
+            installs: RwLock::with_index("baseline.thirdparty", 2, HashMap::new()),
+        }
     }
 
     /// Store a user's profile (the platform's own copy — sign-up is one

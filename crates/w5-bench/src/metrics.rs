@@ -70,6 +70,9 @@ pub fn write_metrics<T: serde::Serialize>(
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    // Disk I/O can park the thread; a bench loop that calls this while
+    // holding a classed lock is a W5D003.
+    w5_sync::lockdep::blocking("bench.metrics.write");
     std::fs::write(&path, json)?;
     Ok(path)
 }

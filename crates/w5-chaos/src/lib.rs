@@ -24,7 +24,7 @@
 
 #![forbid(unsafe_code)]
 
-use parking_lot::Mutex;
+use w5_sync::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
@@ -179,7 +179,7 @@ impl Injector {
         let rng = StdRng::seed_from_u64(plan.seed);
         Arc::new(Injector {
             plan,
-            state: Mutex::new(InjectorState { rng, tallies: BTreeMap::new() }),
+            state: Mutex::new("chaos.injector", InjectorState { rng, tallies: BTreeMap::new() }),
         })
     }
 

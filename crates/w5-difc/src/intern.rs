@@ -40,7 +40,7 @@
 
 use crate::label::Label;
 use crate::LabelPair;
-use parking_lot::{Mutex, RwLock};
+use w5_sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -262,8 +262,8 @@ impl Interner {
     fn new() -> Interner {
         let empty = Label::empty();
         let mut shards = Vec::with_capacity(SHARD_COUNT);
-        for _ in 0..SHARD_COUNT {
-            shards.push(Shard { map: RwLock::new(HashMap::new()) });
+        for i in 0..SHARD_COUNT {
+            shards.push(Shard { map: RwLock::with_index("difc.intern.shard", i as u32, HashMap::new()) });
         }
         // Pre-intern the empty label at id 0 so `LabelId::EMPTY` is valid.
         shards[Self::shard_of(&empty)].map.write().insert(empty.clone(), 0);
@@ -272,9 +272,9 @@ impl Interner {
         flow.resize_with(FLOW_CACHE_SLOTS, || AtomicU64::new(0));
         Interner {
             shards,
-            labels: RwLock::new(vec![(empty, obs)]),
+            labels: RwLock::new("difc.intern.table", vec![(empty, obs)]),
             flow,
-            ops: Mutex::new(HashMap::new()),
+            ops: Mutex::new("difc.intern.ops", HashMap::new()),
             intern_hits: AtomicU64::new(0),
             intern_misses: AtomicU64::new(0),
             flow_hits: AtomicU64::new(0),

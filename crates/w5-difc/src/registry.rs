@@ -14,7 +14,7 @@
 
 use crate::caps::{CapSet, Capability};
 use crate::tag::{Tag, TagKind};
-use parking_lot::RwLock;
+use w5_sync::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -34,11 +34,17 @@ pub struct TagMeta {
 ///
 /// Thread-safe; shared as `Arc<TagRegistry>` between the kernel, the store
 /// and the platform.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TagRegistry {
     next: AtomicU64,
     meta: RwLock<HashMap<Tag, TagMeta>>,
     global: RwLock<CapSet>,
+}
+
+impl Default for TagRegistry {
+    fn default() -> Self {
+        TagRegistry::new()
+    }
 }
 
 impl TagRegistry {
@@ -46,8 +52,8 @@ impl TagRegistry {
     pub fn new() -> TagRegistry {
         TagRegistry {
             next: AtomicU64::new(1),
-            meta: RwLock::new(HashMap::new()),
-            global: RwLock::new(CapSet::empty()),
+            meta: RwLock::with_index("difc.registry", 0, HashMap::new()),
+            global: RwLock::with_index("difc.registry", 1, CapSet::empty()),
         }
     }
 

@@ -23,7 +23,7 @@ use crate::message::Message;
 use crate::process::{Process, ProcessInfo, ProcessState};
 use crate::resource::{ResourceContainer, ResourceKind, ResourceLimits, ResourceUsage};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use w5_sync::{lockdep, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -49,7 +49,7 @@ impl ReferenceKernel {
     pub fn new(registry: Arc<TagRegistry>) -> ReferenceKernel {
         ReferenceKernel {
             registry,
-            inner: Arc::new(Mutex::new(Inner {
+            inner: Arc::new(Mutex::new("kernel.reference", Inner {
                 procs: HashMap::new(),
                 stats: KernelStats::default(),
             })),
@@ -121,6 +121,7 @@ impl ReferenceKernel {
         let spec_pair = spec.labels.interned();
         if spec_pair != p.pair || !spec.grant.is_empty() {
             let eff = self.registry.effective(&p.caps);
+            let _obs_permit = lockdep::allow_held("obs.ledger");
             rules::safe_change(&p.labels.secrecy, &spec.labels.secrecy, &eff)?;
             rules::safe_change(&p.labels.integrity, &spec.labels.integrity, &eff)?;
             if !spec.grant.is_subset(&eff) {
@@ -222,6 +223,7 @@ impl ReferenceKernel {
             return Err(KernelError::ProcessDead(pid));
         }
         let eff = registry.effective(&p.caps);
+        let _obs_permit = lockdep::allow_held("obs.ledger");
         let check = rules::safe_change(&p.labels.secrecy, &new.secrecy, &eff)
             .and_then(|()| rules::safe_change(&p.labels.integrity, &new.integrity, &eff));
         match check {
@@ -344,6 +346,7 @@ impl ReferenceKernel {
         // full rationale. Fast path: memoized id-level subset probes.
         let fast_ok = w5_difc::intern::subset(s_pair.secrecy, r_pair.secrecy)
             && w5_difc::intern::subset(r_pair.integrity, s_pair.integrity);
+        let _obs_permit = lockdep::allow_held("obs.ledger");
         let flow = if fast_ok {
             w5_obs::count_check("flow", true, &s_pair.secrecy.to_obs());
             Ok(())
@@ -546,6 +549,7 @@ impl ReferenceKernel {
             return Ok(());
         }
         let eff = registry.effective(&p.caps);
+        let _obs_permit = lockdep::allow_held("obs.ledger");
         match rules::labels_for_read(&p.labels, &eff, data) {
             rules::FlowCheck::Allowed => Ok(()),
             rules::FlowCheck::AllowedWithChange { new_secrecy, new_integrity } => {
@@ -564,6 +568,7 @@ impl ReferenceKernel {
             .get(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         let eff = self.registry.effective(&p.caps);
+        let _obs_permit = lockdep::allow_held("obs.ledger");
         match rules::labels_for_write(&p.labels, &eff, obj) {
             rules::FlowCheck::Denied(e) => Err(e.into()),
             _ => Ok(()),

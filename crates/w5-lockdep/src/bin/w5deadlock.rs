@@ -1,0 +1,142 @@
+//! w5deadlock — lock-order certification CLI.
+//!
+//! Checks the workspace's declared lock-order manifest, optionally merged
+//! with one or more `ObservedRun` JSON files (recorded by `w5-sync` during
+//! test/sim runs), and prints W5D findings.
+//!
+//! ```text
+//! w5deadlock [--json] [--graph] [--deny info|warning|error] [--list]
+//!            [--manifest FILE] [--emit-manifest] [RUN.json...]
+//! ```
+//!
+//! Exit codes: `0` = the `--deny` gate passes (default gate: error),
+//! `1` = at least one finding at or above the gate, `2` = usage or input
+//! error. With no run files the check is purely static: the declared
+//! manifest must be self-consistent. Designed for CI, like `w5lint`: the
+//! exit code is the verdict, stdout is the evidence.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+use w5_lockdep::{analyze, to_dot, Manifest, Severity, LOCKDEP_CATALOG};
+use w5_sync::lockdep::ObservedRun;
+
+const USAGE: &str = "usage: w5deadlock [--json] [--graph] [--deny info|warning|error] [--list] [--manifest FILE] [--emit-manifest] [RUN.json...]
+
+  --json           emit the full report as JSON instead of human-readable lines
+  --graph          emit the declared order + observed edges as a DOT graph and exit
+  --deny S         exit nonzero when any finding has severity >= S (default: error)
+  --list           print the W5D lint catalog and exit
+  --manifest FILE  check against FILE (JSON) instead of the built-in workspace manifest
+  --emit-manifest  print the built-in workspace manifest as JSON and exit
+  RUN.json         ObservedRun dumps to merge into the check (omit for a static-only check)";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut graph = false;
+    let mut deny = Severity::Error;
+    let mut manifest_path: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--graph" => graph = true,
+            "--list" => {
+                for (code, name, severity, desc) in LOCKDEP_CATALOG {
+                    println!("{code}  {severity:<7}  {name:<22} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--emit-manifest" => {
+                println!("{}", Manifest::workspace().to_json());
+                return ExitCode::SUCCESS;
+            }
+            "--deny" => {
+                let Some(v) = argv.next() else {
+                    eprintln!("w5deadlock: --deny requires a severity\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                match v.parse::<Severity>() {
+                    Ok(s) => deny = s,
+                    Err(e) => {
+                        eprintln!("w5deadlock: {e}\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--manifest" => {
+                let Some(v) = argv.next() else {
+                    eprintln!("w5deadlock: --manifest requires a path\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                manifest_path = Some(v);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("w5deadlock: unknown flag {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    let manifest = match manifest_path {
+        None => Manifest::workspace(),
+        Some(path) => {
+            let raw = match std::fs::read_to_string(&path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("w5deadlock: cannot read manifest {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match Manifest::from_json(&raw) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("w5deadlock: cannot parse manifest {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let mut run = ObservedRun::empty();
+    for file in &files {
+        let raw = match std::fs::read_to_string(file) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("w5deadlock: cannot read run {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match serde_json::from_str::<ObservedRun>(&raw) {
+            Ok(r) => run.merge(&r),
+            Err(e) => {
+                eprintln!("w5deadlock: cannot parse run {file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if graph {
+        print!("{}", to_dot(&manifest, &run));
+        return ExitCode::SUCCESS;
+    }
+
+    let report = analyze(&manifest, &run);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.passes(deny) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

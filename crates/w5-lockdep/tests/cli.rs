@@ -1,0 +1,126 @@
+//! End-to-end coverage for the `w5deadlock` CLI: the clean workspace
+//! manifest certifies at `--deny error` with exit 0, an inverted
+//! two-class fixture run produces a W5D001 cycle with a readable path
+//! and exit 1, and the inspection flags (`--list`, `--emit-manifest`,
+//! `--graph`, `--json`) stay machine-consumable.
+
+use std::process::{Command, Output};
+use std::sync::Arc;
+use w5_sync::lockdep;
+
+fn w5deadlock(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_w5deadlock"))
+        .args(args)
+        .output()
+        .expect("w5deadlock binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// An observed run whose two fixture classes are acquired in both orders
+/// — the canonical deadlock-shaped input.
+fn inverted_fixture_run() -> String {
+    let rec = Arc::new(lockdep::Recorder::new());
+    let _scope = lockdep::scoped(Arc::clone(&rec));
+    let alpha = w5_sync::Mutex::new("fixture.alpha", ());
+    let beta = w5_sync::Mutex::new("fixture.beta", ());
+    {
+        let _a = alpha.lock();
+        let _b = beta.lock();
+    }
+    {
+        let _b = beta.lock();
+        let _a = alpha.lock();
+    }
+    serde_json::to_string(&rec.snapshot()).expect("run serializes")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("w5deadlock-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("temp file writes");
+    path
+}
+
+#[test]
+fn clean_workspace_manifest_passes_deny_error() {
+    let out = w5deadlock(&["--deny", "error"]);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{}", stdout(&out));
+    assert!(stdout(&out).contains("clean: no findings"), "stdout:\n{}", stdout(&out));
+}
+
+#[test]
+fn clean_workspace_manifest_passes_deny_warning() {
+    // Stronger than the CI gate: the declared order alone must not even
+    // warn, or drift would hide behind the error-only default.
+    let out = w5deadlock(&["--deny", "warning"]);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{}", stdout(&out));
+}
+
+#[test]
+fn inverted_fixture_yields_w5d001_with_cycle_path_and_exit_1() {
+    let run = write_temp("inverted.json", &inverted_fixture_run());
+    let out = w5deadlock(&["--deny", "error", run.to_str().unwrap()]);
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{text}");
+    assert!(text.contains("W5D001"), "missing W5D001:\n{text}");
+    // The cycle path must be readable: both classes, their edge sites,
+    // and the closing hop.
+    assert!(text.contains("fixture.alpha"), "cycle path lacks alpha:\n{text}");
+    assert!(text.contains("fixture.beta"), "cycle path lacks beta:\n{text}");
+    assert!(text.contains("-> back to"), "cycle path not closed:\n{text}");
+    assert!(text.contains("tests/cli.rs"), "cycle path lacks acquisition sites:\n{text}");
+    let _ = std::fs::remove_file(run);
+}
+
+#[test]
+fn json_report_is_parseable_and_carries_findings() {
+    let run = write_temp("json.json", &inverted_fixture_run());
+    let out = w5deadlock(&["--json", run.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("report is JSON");
+    let findings = v.get("findings").and_then(|f| f.as_arr()).expect("findings array");
+    assert!(
+        findings.iter().any(|f| f.get("code").and_then(|c| c.as_str()) == Some("W5D001")),
+        "no W5D001 in JSON findings"
+    );
+    let _ = std::fs::remove_file(run);
+}
+
+#[test]
+fn graph_emits_dot_with_observed_edges() {
+    let run = write_temp("graph.json", &inverted_fixture_run());
+    let out = w5deadlock(&["--graph", run.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "--graph is inspection, not a gate");
+    let dot = stdout(&out);
+    assert!(dot.starts_with("digraph"), "not DOT:\n{dot}");
+    assert!(dot.contains("fixture.alpha"), "observed nodes missing:\n{dot}");
+    let _ = std::fs::remove_file(run);
+}
+
+#[test]
+fn list_prints_full_lint_catalog() {
+    let out = w5deadlock(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for code in ["W5D001", "W5D002", "W5D003", "W5D004", "W5D005", "W5D006"] {
+        assert!(text.contains(code), "catalog missing {code}:\n{text}");
+    }
+}
+
+#[test]
+fn emitted_manifest_round_trips_through_the_checker() {
+    let out = w5deadlock(&["--emit-manifest"]);
+    assert_eq!(out.status.code(), Some(0));
+    let manifest = write_temp("manifest.json", &stdout(&out));
+    let out = w5deadlock(&["--manifest", manifest.to_str().unwrap(), "--deny", "warning"]);
+    assert_eq!(out.status.code(), Some(0), "re-parsed manifest must still certify");
+    let _ = std::fs::remove_file(manifest);
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = w5deadlock(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -13,7 +13,7 @@
 //! UDP only, one response per query, no recursion (RA=0) — the shape of a
 //! tiny authoritative server, with every peer-controlled length checked.
 
-use parking_lot::RwLock;
+use w5_sync::RwLock;
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -200,15 +200,20 @@ pub fn parse_response(buf: &[u8]) -> Result<(u16, u8, Vec<Ipv4Addr>), DnsError> 
 }
 
 /// The provider's authoritative zone: name → address.
-#[derive(Default)]
 pub struct Zone {
     records: RwLock<HashMap<String, Ipv4Addr>>,
+}
+
+impl Default for Zone {
+    fn default() -> Zone {
+        Zone::new()
+    }
 }
 
 impl Zone {
     /// An empty zone.
     pub fn new() -> Zone {
-        Zone::default()
+        Zone { records: RwLock::new("net.dns", HashMap::new()) }
     }
 
     /// Add/replace an A record (name is lowercased).
@@ -252,7 +257,7 @@ impl Zone {
 pub struct DnsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    thread: parking_lot::Mutex<Option<JoinHandle<()>>>,
+    thread: w5_sync::Mutex<Option<JoinHandle<()>>>,
     queries: Arc<AtomicU64>,
 }
 
@@ -305,7 +310,7 @@ impl DnsServer {
         Ok(DnsServer {
             addr: local,
             stop,
-            thread: parking_lot::Mutex::new(Some(thread)),
+            thread: w5_sync::Mutex::new("net.dns_thread", Some(thread)),
             queries,
         })
     }

@@ -6,7 +6,7 @@
 //! platform-specific listener tricks.
 
 use crate::http::{buf_reader, HttpError, Limits, Request, Response, Status};
-use parking_lot::Mutex;
+use w5_sync::{lockdep, Mutex};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -150,7 +150,7 @@ impl Server {
         Ok(ServerHandle {
             addr: local,
             stop,
-            accept_thread: Mutex::new(Some(accept_thread)),
+            accept_thread: Mutex::new("net.accept", Some(accept_thread)),
             active,
             served,
         })
@@ -179,6 +179,7 @@ fn overloaded(mut stream: TcpStream) -> std::io::Result<()> {
     let resp = Response::error(Status::SERVICE_UNAVAILABLE, "server overloaded");
     let mut out = Vec::new();
     let _ = resp.write_to(&mut out, false);
+    lockdep::blocking("net.socket.write");
     stream.write_all(&out)?;
     // Half of the rejected clients have already sent (part of) a request;
     // without an explicit shutdown they sit in their own read until their
@@ -261,6 +262,7 @@ fn serve_connection(
         );
         w5_obs::time("net.http", &w5_obs::ObsLabel::empty(), elapsed);
         served.fetch_add(1, Ordering::Relaxed);
+        lockdep::blocking("net.socket.write");
         response.write_to(&mut write_half, keep)?;
         if !keep {
             break;
@@ -395,7 +397,7 @@ mod tests {
         // A handler that parks until released, so one connection can pin
         // the single slot for as long as the test needs.
         let (tx, rx) = mpsc::channel::<()>();
-        let rx = Mutex::new(rx);
+        let rx = Mutex::new("test.fixture", rx);
         let h = Server::start(
             "127.0.0.1:0",
             ServerConfig { max_connections: 1, ..ServerConfig::default() },

@@ -2,8 +2,9 @@
 //! clearance-gated views.
 //!
 //! Writes are cheap: per-layer counters are lock-free atomics; the bounded
-//! event ring and the latency registry take one short `parking_lot` mutex
-//! each. Reads are **labeled operations**: [`Ledger::view`] takes the
+//! event ring and the latency registry take one short `obs.ledger`-classed
+//! `w5_sync` mutex each (instances ring=0, latencies=1, published=2,
+//! spans=3; never nested). Reads are **labeled operations**: [`Ledger::view`] takes the
 //! viewer's clearance (their secrecy label, as an [`ObsLabel`]) and
 //!
 //! * returns verbatim only events whose secrecy label is a subset of the
@@ -24,7 +25,7 @@ use crate::event::{Event, EventKind, Layer};
 use crate::histogram::{Histogram, HistogramSummary};
 use crate::label::ObsLabel;
 use crate::trace::{redact_spans, sample_decision, SpanRecord, TraceView};
-use parking_lot::Mutex;
+use w5_sync::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -117,11 +118,11 @@ impl Ledger {
             seq: AtomicU64::new(0),
             counters: Default::default(),
             checks: AtomicU64::new(0),
-            ring: Mutex::new(VecDeque::with_capacity(ring_cap.min(1024))),
+            ring: Mutex::with_index("obs.ledger", 0, VecDeque::with_capacity(ring_cap.min(1024))),
             ring_cap,
-            latencies: Mutex::new(BTreeMap::new()),
-            published: Mutex::new(Published { agg: Aggregate::default(), at: 0 }),
-            spans: Mutex::new(VecDeque::with_capacity(DEFAULT_SPAN_CAP.min(1024))),
+            latencies: Mutex::with_index("obs.ledger", 1, BTreeMap::new()),
+            published: Mutex::with_index("obs.ledger", 2, Published { agg: Aggregate::default(), at: 0 }),
+            spans: Mutex::with_index("obs.ledger", 3, VecDeque::with_capacity(DEFAULT_SPAN_CAP.min(1024))),
             span_cap: DEFAULT_SPAN_CAP,
             span_counters: Default::default(),
             spans_recorded: AtomicU64::new(0),

@@ -10,7 +10,7 @@
 //! the catalog. Dependency edges (imports and embedded links) recorded here
 //! feed the CodeRank analysis of §3.2.
 
-use parking_lot::RwLock;
+use w5_sync::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -110,17 +110,25 @@ impl fmt::Display for RegistryError {
 impl std::error::Error for RegistryError {}
 
 /// The catalog of applications and modules.
-#[derive(Default)]
 pub struct AppRegistry {
     /// key → all published versions, ascending.
     apps: RwLock<HashMap<String, Vec<AppManifest>>>,
     modules: RwLock<HashMap<String, ModuleManifest>>,
 }
 
+impl Default for AppRegistry {
+    fn default() -> AppRegistry {
+        AppRegistry::new()
+    }
+}
+
 impl AppRegistry {
     /// An empty registry.
     pub fn new() -> AppRegistry {
-        AppRegistry::default()
+        AppRegistry {
+            apps: RwLock::with_index("platform.appreg", 0, HashMap::new()),
+            modules: RwLock::with_index("platform.appreg", 1, HashMap::new()),
+        }
     }
 
     /// Publish a new version of an application.

@@ -13,7 +13,7 @@
 //! sees or transforms the payload.
 
 use crate::principal::UserId;
-use parking_lot::RwLock;
+use w5_sync::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -206,7 +206,7 @@ pub struct RateLimited {
 impl RateLimited {
     /// Wrap `inner` with a budget.
     pub fn new(inner: Arc<dyn Declassifier>, budget: u32) -> RateLimited {
-        RateLimited { inner, budget, counts: RwLock::new(HashMap::new()) }
+        RateLimited { inner, budget, counts: RwLock::with_index("platform.declass", 3, HashMap::new()) }
     }
 
     /// Reset all counters (an epoch boundary).
@@ -244,15 +244,22 @@ impl Declassifier for RateLimited {
 }
 
 /// The provider's catalog of installable declassifiers.
-#[derive(Default)]
 pub struct DeclassifierRegistry {
     by_name: RwLock<HashMap<&'static str, Arc<dyn Declassifier>>>,
+}
+
+impl Default for DeclassifierRegistry {
+    fn default() -> DeclassifierRegistry {
+        DeclassifierRegistry::new()
+    }
 }
 
 impl DeclassifierRegistry {
     /// An empty registry.
     pub fn new() -> DeclassifierRegistry {
-        DeclassifierRegistry::default()
+        DeclassifierRegistry {
+            by_name: RwLock::with_index("platform.declass", 0, HashMap::new()),
+        }
     }
 
     /// A registry preloaded with the built-ins.
@@ -318,16 +325,24 @@ impl DeclassifierRegistry {
 }
 
 /// An in-memory oracle used by tests and the simulation harness.
-#[derive(Default)]
 pub struct StaticRelations {
     friends: RwLock<HashSet<(String, String)>>,
     groups: RwLock<HashSet<(String, String, String)>>,
 }
 
+impl Default for StaticRelations {
+    fn default() -> StaticRelations {
+        StaticRelations::new()
+    }
+}
+
 impl StaticRelations {
     /// Empty relations.
     pub fn new() -> StaticRelations {
-        StaticRelations::default()
+        StaticRelations {
+            friends: RwLock::with_index("platform.declass", 1, HashSet::new()),
+            groups: RwLock::with_index("platform.declass", 2, HashSet::new()),
+        }
     }
 
     /// Record that `b` is on `a`'s friend list (directed).

@@ -14,7 +14,7 @@
 //! editor has endorsed at the resolved version.
 
 use crate::appreg::AppRegistry;
-use parking_lot::RwLock;
+use w5_sync::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -32,15 +32,20 @@ pub struct Endorsement {
 }
 
 /// The provider's registry of editors and their endorsements.
-#[derive(Default)]
 pub struct EditorRegistry {
     endorsements: RwLock<Vec<Endorsement>>,
+}
+
+impl Default for EditorRegistry {
+    fn default() -> EditorRegistry {
+        EditorRegistry::new()
+    }
 }
 
 impl EditorRegistry {
     /// An empty registry.
     pub fn new() -> EditorRegistry {
-        EditorRegistry::default()
+        EditorRegistry { endorsements: RwLock::new("platform.editors", Vec::new()) }
     }
 
     /// Record an endorsement (idempotent per (editor, app, version)).

@@ -19,7 +19,7 @@
 use crate::declass::{DeclassifierRegistry, ExportContext, RelationshipOracle, Verdict};
 use crate::policy::PolicyStore;
 use crate::principal::{Account, AccountStore, UserId};
-use parking_lot::Mutex;
+use w5_sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use w5_difc::{LabelPair, Tag};
@@ -115,7 +115,7 @@ impl Exporter {
     pub fn new() -> Exporter {
         Exporter {
             stats: PerimeterStats::default(),
-            audit: Mutex::new(VecDeque::new()),
+            audit: Mutex::new("platform.perimeter", VecDeque::new()),
             audit_cap: 10_000,
         }
     }

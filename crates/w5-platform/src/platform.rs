@@ -18,7 +18,7 @@ use crate::principal::{Account, AccountStore};
 use crate::sanitize::{sanitize_html_labeled, SanitizeStats};
 use crate::session::SessionStore;
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use w5_sync::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -191,8 +191,8 @@ impl Platform {
             exporter: Exporter::new(),
             config,
             stats: PlatformStats::default(),
-            impls: RwLock::new(HashMap::new()),
-            faults: Mutex::new(std::collections::VecDeque::new()),
+            impls: RwLock::with_index("platform.impl", 0, HashMap::new()),
+            faults: Mutex::with_index("platform.impl", 1, std::collections::VecDeque::new()),
         })
     }
 

@@ -16,7 +16,7 @@
 //! * **app enrollment** — the checkbox/invitation signup of §1.
 
 use crate::principal::UserId;
-use parking_lot::RwLock;
+use w5_sync::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -90,15 +90,20 @@ impl UserPolicy {
 }
 
 /// The policy database.
-#[derive(Default)]
 pub struct PolicyStore {
     policies: RwLock<HashMap<UserId, UserPolicy>>,
+}
+
+impl Default for PolicyStore {
+    fn default() -> PolicyStore {
+        PolicyStore::new()
+    }
 }
 
 impl PolicyStore {
     /// An empty store.
     pub fn new() -> PolicyStore {
-        PolicyStore::default()
+        PolicyStore { policies: RwLock::new("platform.policy", HashMap::new()) }
     }
 
     /// Read a user's policy (default-empty).

@@ -7,7 +7,7 @@
 //! — is carved out of this set through the policy store.
 
 use crate::crypto;
-use parking_lot::RwLock;
+use w5_sync::RwLock;
 use rand::RngCore;
 use std::collections::HashMap;
 use std::fmt;
@@ -96,8 +96,8 @@ impl AccountStore {
     pub fn new(registry: Arc<TagRegistry>) -> AccountStore {
         AccountStore {
             registry,
-            by_name: RwLock::new(HashMap::new()),
-            by_id: RwLock::new(HashMap::new()),
+            by_name: RwLock::with_index("platform.principals", 0, HashMap::new()),
+            by_id: RwLock::with_index("platform.principals", 1, HashMap::new()),
             next_id: std::sync::atomic::AtomicU64::new(1),
         }
     }

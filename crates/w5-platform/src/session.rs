@@ -6,7 +6,7 @@
 
 use crate::crypto;
 use crate::principal::UserId;
-use parking_lot::RwLock;
+use w5_sync::RwLock;
 use rand::RngCore;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,7 +32,7 @@ impl SessionStore {
     pub fn new() -> SessionStore {
         let mut secret = [0u8; 32];
         rand::thread_rng().fill_bytes(&mut secret);
-        SessionStore { secret, counter: AtomicU64::new(0), live: RwLock::new(HashMap::new()) }
+        SessionStore { secret, counter: AtomicU64::new(0), live: RwLock::new("platform.sessions", HashMap::new()) }
     }
 
     /// Issue a token for a user.

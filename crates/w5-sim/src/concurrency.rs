@@ -59,6 +59,7 @@ use w5_kernel::{
     Kernel, KernelStats, ProcessId, ReferenceKernel, ResourceLimits, SpawnSpec, Syscalls,
 };
 use w5_obs::Ledger;
+use w5_sync::lockdep;
 
 /// Per-thread process count at setup; op indices are taken modulo the
 /// live list, which grows as the thread spawns children.
@@ -331,12 +332,22 @@ fn collect<K: Syscalls>(
 /// Returns the outcome plus the private ledger's digest — meaningful for
 /// comparison only between serial runs (ring/event *order* is
 /// timing-dependent under threads; counts are not).
-fn run_with<K: Syscalls + Clone>(k: &K, spec: &ConcSpec, concurrent: bool) -> (ConcOutcome, u64) {
+fn run_with<K: Syscalls + Clone>(
+    k: &K,
+    spec: &ConcSpec,
+    concurrent: bool,
+    context: Option<Box<lockdep::ContextFn>>,
+) -> (ConcOutcome, u64) {
     assert!(spec.threads >= 1, "need at least one thread");
     // Private ledger first: setup events are part of the serial digest,
     // exactly like the chaos harness.
     let ledger = Arc::new(Ledger::new());
     let _obs_guard = w5_obs::scoped(Arc::clone(&ledger));
+    // Private order graph second: every classed-lock acquisition this run
+    // makes (setup, workers, teardown) lands here and is checked against
+    // the declared manifest before the outcome is returned.
+    let recorder = crate::lockgate::recorder(context);
+    let _lock_guard = lockdep::scoped(Arc::clone(&recorder));
 
     let mut ctxs = setup(k, spec);
     let op_lists: Vec<Vec<Op>> = (0..spec.threads).map(|t| gen_ops(spec, t)).collect();
@@ -348,6 +359,7 @@ fn run_with<K: Syscalls + Clone>(k: &K, spec: &ConcSpec, concurrent: bool) -> (C
         // re-install it inside every worker so their syscalls record here,
         // not into the process-global ledger.
         let handoff = w5_obs::current_scoped().expect("scoped ledger installed above");
+        let lock_handoff = lockdep::current_scoped().expect("scoped recorder installed above");
         thread::scope(|s| {
             let handles: Vec<_> = ctxs
                 .iter_mut()
@@ -356,9 +368,11 @@ fn run_with<K: Syscalls + Clone>(k: &K, spec: &ConcSpec, concurrent: bool) -> (C
                 .map(|((ctx, ops), inj)| {
                     let k = k.clone();
                     let handoff = Arc::clone(&handoff);
+                    let lock_handoff = Arc::clone(&lock_handoff);
                     let inj = Arc::clone(inj);
                     s.spawn(move || {
                         let _obs = w5_obs::scoped(handoff);
+                        let _lockdep = lockdep::scoped(lock_handoff);
                         let _chaos = w5_chaos::with_injector(Arc::clone(&inj));
                         apply_ops(&k, ctx, ops);
                         inj.report()
@@ -385,33 +399,49 @@ fn run_with<K: Syscalls + Clone>(k: &K, spec: &ConcSpec, concurrent: bool) -> (C
             .collect()
     };
 
-    (collect(k, &ledger, &ctxs, faults), ledger.digest())
+    let outcome = collect(k, &ledger, &ctxs, faults);
+    recorder.note("harness", "concurrency");
+    recorder.note("threads", &spec.threads.to_string());
+    crate::lockgate::enforce(&recorder, "concurrency");
+    (outcome, ledger.digest())
 }
 
 /// Sharded kernel under real thread interleavings.
 pub fn run_sharded_concurrent(spec: &ConcSpec) -> ConcOutcome {
     let k = Kernel::with_shards(spec.shards, Arc::new(TagRegistry::new()));
-    run_with(&k, spec, true).0
+    let ctx = stats_context(&k);
+    run_with(&k, spec, true, Some(ctx)).0
+}
+
+/// Edge-context provider for the sharded arms: the kernel's relaxed-atomic
+/// counter snapshot, serialized. Lock-free by construction (the provider
+/// contract), so it can run in the middle of any acquisition.
+fn stats_context(k: &Kernel) -> Box<lockdep::ContextFn> {
+    let k = k.clone();
+    Box::new(move || w5_obs::snapshot_json(&k).unwrap_or_default())
 }
 
 /// Single-lock reference kernel under real thread interleavings (the
 /// trivially linearizable baseline).
 pub fn run_reference_concurrent(spec: &ConcSpec) -> ConcOutcome {
     let k = ReferenceKernel::new(Arc::new(TagRegistry::new()));
-    run_with(&k, spec, true).0
+    // No context provider: the reference kernel's stats live under the very
+    // lock whose acquisitions are being recorded.
+    run_with(&k, spec, true, None).0
 }
 
 /// Sharded kernel, serial replay. The digest covers the full private
 /// event stream and is comparable against [`run_reference_serial`].
 pub fn run_sharded_serial(spec: &ConcSpec) -> (ConcOutcome, u64) {
     let k = Kernel::with_shards(spec.shards, Arc::new(TagRegistry::new()));
-    run_with(&k, spec, false)
+    let ctx = stats_context(&k);
+    run_with(&k, spec, false, Some(ctx))
 }
 
 /// Reference kernel, serial replay, with digest.
 pub fn run_reference_serial(spec: &ConcSpec) -> (ConcOutcome, u64) {
     let k = ReferenceKernel::new(Arc::new(TagRegistry::new()));
-    run_with(&k, spec, false)
+    run_with(&k, spec, false, None)
 }
 
 /// The full four-arm differential check, used by tests and CI: sharded

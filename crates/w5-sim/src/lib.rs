@@ -24,6 +24,7 @@ pub mod chaos;
 pub mod concurrency;
 pub mod depgraph;
 pub mod differential;
+pub mod lockgate;
 pub mod population;
 pub mod socialgraph;
 pub mod storediff;

@@ -44,6 +44,7 @@ use std::sync::Arc;
 use std::thread;
 use w5_difc::{CapSet, Label, LabelPair, Tag, TagKind, TagRegistry};
 use w5_obs::Ledger;
+use w5_sync::lockdep;
 use w5_store::{Database, QueryCost, QueryError, QueryMode, QueryOutput, Subject};
 
 /// Seed rows inserted per table before the op streams start.
@@ -428,6 +429,10 @@ fn run_arm(db: &Database, spec: &StoreSpec, concurrent: bool) -> StoreRun {
     assert!(spec.threads >= 1, "need at least one thread");
     let ledger = Arc::new(Ledger::new());
     let _obs_guard = w5_obs::scoped(Arc::clone(&ledger));
+    // Order graph for this arm: partition-lock acquisitions (and anything
+    // they nest, e.g. intern-table reads) are recorded and gated below.
+    let recorder = crate::lockgate::recorder(None);
+    let _lock_guard = lockdep::scoped(Arc::clone(&recorder));
 
     let ctxs = setup(db, spec);
     let op_lists: Vec<Vec<Op>> = (0..spec.threads).map(|t| gen_ops(spec, t)).collect();
@@ -439,6 +444,7 @@ fn run_arm(db: &Database, spec: &StoreSpec, concurrent: bool) -> StoreRun {
         // re-install it inside every worker so their flow checks record
         // here, not into the process-global ledger.
         let handoff = w5_obs::current_scoped().expect("scoped ledger installed above");
+        let lock_handoff = lockdep::current_scoped().expect("scoped recorder installed above");
         thread::scope(|s| {
             let handles: Vec<_> = ctxs
                 .iter()
@@ -446,9 +452,11 @@ fn run_arm(db: &Database, spec: &StoreSpec, concurrent: bool) -> StoreRun {
                 .zip(injectors.iter())
                 .map(|((ctx, ops), inj)| {
                     let handoff = Arc::clone(&handoff);
+                    let lock_handoff = Arc::clone(&lock_handoff);
                     let inj = Arc::clone(inj);
                     s.spawn(move || {
                         let _obs = w5_obs::scoped(handoff);
+                        let _lockdep = lockdep::scoped(lock_handoff);
                         let _chaos = w5_chaos::with_injector(Arc::clone(&inj));
                         let (digest, scanned) = apply_ops(db, ctx, ops);
                         (digest, scanned, inj.report())
@@ -478,6 +486,10 @@ fn run_arm(db: &Database, spec: &StoreSpec, concurrent: bool) -> StoreRun {
     let tables: BTreeMap<String, Vec<String>> =
         ctxs.iter().map(|ctx| (ctx.table.clone(), dump(db, &ctx.table))).collect();
     let scanned = results.iter().map(|r| r.1).sum();
+    recorder.note("harness", "storediff");
+    recorder.note("executor", db.executor_name());
+    recorder.note("rows_scanned", &u64::to_string(&scanned));
+    crate::lockgate::enforce(&recorder, "storediff");
     StoreRun {
         outcome: StoreOutcome {
             digests: results.iter().map(|r| r.0).collect(),

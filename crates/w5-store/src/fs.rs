@@ -14,7 +14,7 @@
 
 use crate::subject::Subject;
 use bytes::Bytes;
-use parking_lot::RwLock;
+use w5_sync::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
 use w5_difc::LabelPair;
@@ -92,7 +92,7 @@ struct FileEntry {
 }
 
 /// A labeled in-memory filesystem. Cheap to clone (shared state).
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct LabeledFs {
     inner: std::sync::Arc<RwLock<BTreeMap<String, FileEntry>>>,
     /// Total bytes allowed across the filesystem; `usize::MAX` = unlimited.
@@ -110,15 +110,24 @@ fn validate(path: &str) -> Result<(), FsError> {
     Ok(())
 }
 
+impl Default for LabeledFs {
+    fn default() -> LabeledFs {
+        LabeledFs::new()
+    }
+}
+
 impl LabeledFs {
     /// An empty filesystem with unlimited capacity.
     pub fn new() -> LabeledFs {
-        LabeledFs { inner: Default::default(), capacity: usize::MAX }
+        LabeledFs::with_capacity(usize::MAX)
     }
 
     /// An empty filesystem that refuses writes beyond `capacity` total bytes.
     pub fn with_capacity(capacity: usize) -> LabeledFs {
-        LabeledFs { inner: Default::default(), capacity }
+        LabeledFs {
+            inner: std::sync::Arc::new(RwLock::new("store.fs", BTreeMap::new())),
+            capacity,
+        }
     }
 
     /// Create a file. Fails if it exists. The file's labels are chosen by
@@ -149,8 +158,10 @@ impl LabeledFs {
         if w5_chaos::inject(w5_chaos::Site::FsWrite).is_some() {
             return Err(FsError::Aborted);
         }
-        ledger_access(path, data.len() as u64, &labels, true, true);
-        inner.insert(path.to_string(), FileEntry { data, labels, version: 1 });
+        let bytes = data.len() as u64;
+        inner.insert(path.to_string(), FileEntry { data, labels: labels.clone(), version: 1 });
+        drop(inner);
+        ledger_access(path, bytes, &labels, true, true);
         Ok(())
     }
 
@@ -162,11 +173,15 @@ impl LabeledFs {
         let inner = self.inner.read();
         let f = inner.get(path).ok_or(FsError::NotFound)?;
         if !subject.may_read(&f.labels) {
-            ledger_access(path, 0, &f.labels, false, false);
+            let labels = f.labels.clone();
+            drop(inner);
+            ledger_access(path, 0, &labels, false, false);
             return Err(FsError::NotFound);
         }
-        ledger_access(path, f.data.len() as u64, &f.labels, false, true);
-        Ok((f.data.clone(), f.labels.clone()))
+        let (data, labels) = (f.data.clone(), f.labels.clone());
+        drop(inner);
+        ledger_access(path, data.len() as u64, &labels, false, true);
+        Ok((data, labels))
     }
 
     /// Stat a file the subject may read.
@@ -198,7 +213,9 @@ impl LabeledFs {
             return Err(FsError::NotFound);
         }
         if !subject.may_write(&f.labels) {
-            ledger_access(path, data.len() as u64, &f.labels, true, false);
+            let labels = f.labels.clone();
+            drop(inner);
+            ledger_access(path, data.len() as u64, &labels, true, false);
             return Err(FsError::WriteDenied);
         }
         if used - f.data.len() + data.len() > self.capacity {
@@ -211,9 +228,12 @@ impl LabeledFs {
         if w5_chaos::inject(w5_chaos::Site::FsWrite).is_some() {
             return Err(FsError::Aborted);
         }
-        ledger_access(path, data.len() as u64, &f.labels, true, true);
+        let labels = f.labels.clone();
+        let bytes = data.len() as u64;
         f.data = data;
         f.version += 1;
+        drop(inner);
+        ledger_access(path, bytes, &labels, true, true);
         Ok(())
     }
 
@@ -226,11 +246,15 @@ impl LabeledFs {
             return Err(FsError::NotFound);
         }
         if !subject.may_write(&f.labels) {
-            ledger_access(path, 0, &f.labels, true, false);
+            let labels = f.labels.clone();
+            drop(inner);
+            ledger_access(path, 0, &labels, true, false);
             return Err(FsError::WriteDenied);
         }
-        ledger_access(path, 0, &f.labels, true, true);
+        let labels = f.labels.clone();
         inner.remove(path);
+        drop(inner);
+        ledger_access(path, 0, &labels, true, true);
         Ok(())
     }
 

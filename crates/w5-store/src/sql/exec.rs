@@ -35,7 +35,7 @@ use super::plan;
 use super::storage::{col_index, RowLoc, StoredRow, Table};
 use super::value::{like_match, ColumnType, Value};
 use crate::subject::{FlowMemo, Subject};
-use parking_lot::RwLock;
+use w5_sync::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -381,7 +381,7 @@ impl Database {
 
     /// An empty database on a caller-supplied executor.
     pub fn with_executor(exec: Arc<dyn Executor>) -> Database {
-        Database { tables: Arc::default(), exec }
+        Database { tables: Arc::new(RwLock::new("store.partition", HashMap::new())), exec }
     }
 
     /// The active executor's name (benches, oracle reports).
@@ -422,6 +422,10 @@ impl Database {
         if w5_chaos::inject(w5_chaos::Site::SqlQuery).is_some() {
             return Err(QueryError::Aborted);
         }
+        // Per-row flow verdicts are ledgered while the table lock is held;
+        // intentional (the verdict must describe the partition it filtered,
+        // and the scan cannot release the lock row by row).
+        let _obs_permit = w5_sync::lockdep::allow_held("obs.ledger");
         match stmt {
             Statement::CreateTable { name, columns } => self.create_table(&name, columns),
             Statement::DropTable { name } => self.drop_table(subject, &name),

@@ -192,6 +192,64 @@ fn concurrent_spawns_into_foreign_shards() {
     assert_eq!(k.live_processes(), 4 + 4 * SPAWNS);
 }
 
+#[test]
+fn exhaustive_two_shard_interleavings_stay_ordered() {
+    // Every direction assignment of 2 and then 3 threads over one
+    // 2-shard kernel, barrier-aligned per round so all threads enter
+    // their cross-shard send at the same instant. A scoped lockdep
+    // recorder watches every acquisition; the moment any thread takes
+    // shard 0 while holding shard 1 the assertion below names the
+    // inverted pair, the thread mask and the source line — no need to
+    // wait for an actual deadlock to hang the suite.
+    use w5_sync::lockdep;
+    for threads in [2usize, 3] {
+        for mask in 0u32..(1 << threads) {
+            let rec = Arc::new(lockdep::Recorder::new());
+            let k = Kernel::with_shards(2, Arc::new(TagRegistry::new()));
+            let (a, b) = cross_shard_pair(&k);
+            const ROUNDS: usize = 150;
+            let barrier = Barrier::new(threads);
+            thread::scope(|s| {
+                for t in 0..threads {
+                    let k = k.clone();
+                    let rec = Arc::clone(&rec);
+                    let barrier = &barrier;
+                    // Bit t of the mask picks this thread's direction, so
+                    // the loop covers all-same, all-opposed and every
+                    // mixed assignment.
+                    let (from, to) = if mask >> t & 1 == 0 { (a, b) } else { (b, a) };
+                    s.spawn(move || {
+                        let _rec = lockdep::scoped(rec);
+                        for _ in 0..ROUNDS {
+                            barrier.wait();
+                            k.send_strict(from, to, Bytes::from_static(b"x"), CapSet::empty())
+                                .unwrap();
+                        }
+                    });
+                }
+            });
+            let run = rec.snapshot();
+            assert!(
+                run.same_class.iter().any(|e| e.class == "kernel.shard"),
+                "threads={threads} mask={mask:#05b}: cross-shard sends must nest shard locks"
+            );
+            for ev in &run.same_class {
+                if ev.class != "kernel.shard" {
+                    continue;
+                }
+                assert!(
+                    ev.acquired_index > ev.held_index,
+                    "inverted acquisition: shard {} taken while holding shard {} \
+                     (threads={threads}, mask={mask:#05b}, at {})",
+                    ev.acquired_index,
+                    ev.held_index,
+                    ev.site,
+                );
+            }
+        }
+    }
+}
+
 // ---- 3. no lost taint across shards ----
 
 #[test]
