@@ -57,11 +57,19 @@ pub enum Site {
     /// A federation batch arrives with its records reordered (delayed
     /// records overtaking newer ones).
     FedReorder,
+    /// The request pipeline's admission stage finds the principal's queue
+    /// full even though it is not (forced shed — the 503 + `Retry-After`
+    /// path under no real load).
+    NetQueueFull,
+    /// A pipeline worker stalls briefly before running a dequeued request
+    /// (straggler worker; exercises occupancy accounting and fairness
+    /// under uneven service times).
+    NetSlowWorker,
 }
 
 impl Site {
     /// Every site, in `Ord` order.
-    pub const ALL: [Site; 9] = [
+    pub const ALL: [Site; 11] = [
         Site::KernelSpawn,
         Site::KernelSend,
         Site::SchedPreempt,
@@ -71,6 +79,8 @@ impl Site {
         Site::NetBody,
         Site::FedPartition,
         Site::FedReorder,
+        Site::NetQueueFull,
+        Site::NetSlowWorker,
     ];
 
     /// Stable lowercase name (reports, fault details, CI logs).
@@ -85,6 +95,8 @@ impl Site {
             Site::NetBody => "net.body",
             Site::FedPartition => "federation.partition",
             Site::FedReorder => "federation.reorder",
+            Site::NetQueueFull => "net.queue_full",
+            Site::NetSlowWorker => "net.slow_worker",
         }
     }
 }

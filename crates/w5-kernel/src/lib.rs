@@ -55,4 +55,5 @@ pub use reference::ReferenceKernel;
 pub use message::Message;
 pub use process::{ProcessInfo, ProcessState};
 pub use resource::{ResourceContainer, ResourceKind, ResourceLimits, ResourceUsage};
-pub use sched::{Scheduler, SchedulerReport, Step, Task};
+pub use resource::QuotaExceeded;
+pub use sched::{EpochPacer, Scheduler, SchedulerReport, Step, Task};

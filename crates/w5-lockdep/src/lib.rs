@@ -135,6 +135,8 @@ impl Manifest {
                 class!("net.accept", 10, "HTTP server accept-thread join handle"),
                 class!("net.dns", 12, "DNS record table"),
                 class!("net.dns_thread", 13, "DNS refresher join handle"),
+                class!("net.pipeline", 14, "pipeline shard queue state — DRR queues (index = shard)"),
+                class!("net.pipeline.worker", 15, "pipeline worker-pool join handles"),
                 class!("platform.sessions", 20, "live session table"),
                 class!("platform.principals", 21, "principal name/id maps"),
                 class!("platform.appreg", 22, "app manifest + module registry"),
@@ -143,6 +145,7 @@ impl Manifest {
                 class!("platform.editors", 25, "editor endorsement table"),
                 class!("platform.perimeter", 26, "perimeter audit ring"),
                 class!("platform.impl", 27, "platform implementation/fault tables"),
+                class!("platform.boundary", 28, "net-boundary principal-class → kernel process map"),
                 class!("baseline.silo", 30, "siloed-deployment baseline state"),
                 class!("baseline.mashup", 31, "mashup baseline received-data log"),
                 class!("baseline.thirdparty", 32, "third-party-hosting baseline state"),

@@ -12,9 +12,15 @@
 //!   `application/x-www-form-urlencoded` forms.
 //! * [`cookie`] — cookie parsing and `Set-Cookie` serialization (the
 //!   platform authenticates users from cookies, §2).
-//! * [`router`] — a small path router with `:param` captures.
-//! * [`server`] — a threaded, keep-alive-capable server with graceful
-//!   shutdown.
+//! * [`router`] — a small path router with `:param` captures and a
+//!   405-aware [`router::RouteOutcome`].
+//! * [`pipeline`] — the staged request engine: bounded per-principal-class
+//!   queues, deficit-round-robin shard worker pools, and an [`Admission`]
+//!   hook that charges kernel resource containers at the socket boundary.
+//! * [`server`] — the TCP front end (accept loop, keep-alive, graceful
+//!   shutdown) over a pluggable [`Serve`] engine. [`Server`] runs the
+//!   pipeline; [`ReferenceServer`] keeps the seed's
+//!   thread-per-connection semantics as the differential-oracle baseline.
 //! * [`client`] — a blocking client used by the experiment harnesses and by
 //!   provider-to-provider federation.
 //!
@@ -22,9 +28,10 @@
 //! robustness over cleverness — a small number of obvious state machines,
 //! explicit limits on every input (header count, line length, body size),
 //! and no unbounded allocation driven by peer-controlled values. There is
-//! deliberately no async runtime: a thread-per-connection server keeps the
-//! trusted computing base legible, and the experiments measure platform
-//! overhead, not connection-scaling limits.
+//! deliberately no async runtime: a thread-per-connection front end with a
+//! fixed worker pool behind it keeps the trusted computing base legible,
+//! and the experiments measure platform overhead, not connection-scaling
+//! limits.
 
 #![forbid(unsafe_code)]
 
@@ -33,12 +40,22 @@ pub mod cookie;
 pub mod dns;
 pub mod encoding;
 pub mod http;
+pub mod pipeline;
 pub mod router;
 pub mod server;
+
+/// The session cookie name the platform issues and the pipeline's
+/// admission stage classifies by. Lives here so `w5-net` can classify
+/// without depending on the platform crate (which depends on this one).
+pub const SESSION_COOKIE_NAME: &str = "w5_session";
 
 pub use client::HttpClient;
 pub use dns::{DnsServer, Zone};
 pub use cookie::{Cookie, SetCookie};
 pub use http::{HttpError, Method, Request, Response, Status};
-pub use router::{RouteMatch, Router};
-pub use server::{Handler, Server, ServerConfig, ServerHandle};
+pub use pipeline::{
+    Admission, ChargeDenied, ChargePoint, InlineServe, OpenAdmission, Pipeline, PipelineConfig,
+    PipelineSnapshot, PipelineStats, PrincipalClass, Serve,
+};
+pub use router::{allow_header, RouteMatch, RouteOutcome, Router};
+pub use server::{Handler, ReferenceServer, Server, ServerConfig, ServerHandle};

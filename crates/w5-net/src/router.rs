@@ -32,6 +32,25 @@ enum Seg {
     Rest(String),
 }
 
+/// The full resolution verdict: distinguishes "no route at all" (404)
+/// from "the path exists but not under that method" (405 + `Allow`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteOutcome<T: Clone> {
+    /// A route matched method and path.
+    Found(RouteMatch<T>),
+    /// Some route matches the path, but none under the requested method.
+    /// Carries the sorted, deduplicated set of methods that *would* match —
+    /// exactly what belongs in an `Allow` header.
+    MethodNotAllowed(Vec<Method>),
+    /// No registered pattern matches the path under any method.
+    NotFound,
+}
+
+/// Render an `Allow` header value (`"GET, POST"`) from a method set.
+pub fn allow_header(methods: &[Method]) -> String {
+    methods.iter().map(|m| m.as_str()).collect::<Vec<_>>().join(", ")
+}
+
 /// A method+path router.
 #[derive(Clone, Debug, Default)]
 pub struct Router<T: Clone> {
@@ -70,19 +89,31 @@ impl<T: Clone> Router<T> {
         self.routes.push(Route { method, segments, value });
     }
 
-    /// Match a method and path.
+    /// Match a method and path. `None` collapses both miss modes; use
+    /// [`Router::resolve`] when the caller wants to answer 405 with an
+    /// `Allow` header instead of a blanket 404.
     pub fn find(&self, method: Method, path: &str) -> Option<RouteMatch<T>> {
+        match self.resolve(method, path) {
+            RouteOutcome::Found(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Match a method and path, reporting path-only matches separately.
+    pub fn resolve(&self, method: Method, path: &str) -> RouteOutcome<T> {
         let parts: Vec<&str> = if path == "/" {
             Vec::new()
         } else {
             path.split('/').skip(1).collect()
         };
         let mut best: Option<(usize, RouteMatch<T>)> = None;
+        let mut allowed: Vec<Method> = Vec::new();
         for route in &self.routes {
-            if route.method != method {
-                continue;
-            }
             if let Some((score, m)) = match_route(route, &parts) {
+                if route.method != method {
+                    allowed.push(route.method);
+                    continue;
+                }
                 let better = match &best {
                     None => true,
                     Some((bs, _)) => score > *bs,
@@ -92,12 +123,19 @@ impl<T: Clone> Router<T> {
                 }
             }
         }
-        let found = best.map(|(_, m)| m);
         w5_obs::record(
             &w5_obs::ObsLabel::empty(),
-            w5_obs::EventKind::RouteResolve { path: path.to_string(), matched: found.is_some() },
+            w5_obs::EventKind::RouteResolve { path: path.to_string(), matched: best.is_some() },
         );
-        found
+        match best {
+            Some((_, m)) => RouteOutcome::Found(m),
+            None if !allowed.is_empty() => {
+                allowed.sort_by_key(|m| m.as_str());
+                allowed.dedup();
+                RouteOutcome::MethodNotAllowed(allowed)
+            }
+            None => RouteOutcome::NotFound,
+        }
     }
 
     /// Number of registered routes.
@@ -202,6 +240,49 @@ mod tests {
     fn rest_must_be_last() {
         let mut r = Router::new();
         r.add(Method::Get, "/a/*rest/b", "bad");
+    }
+
+    #[test]
+    fn method_mismatch_reports_allowed_methods() {
+        let mut r = Router::new();
+        r.add(Method::Get, "/app/:name", "get");
+        r.add(Method::Post, "/app/:name", "post");
+        r.add(Method::Get, "/apps", "list");
+
+        // Path exists under other methods → MethodNotAllowed with the
+        // sorted, deduplicated Allow set.
+        match r.resolve(Method::Delete, "/app/photo") {
+            RouteOutcome::MethodNotAllowed(allow) => {
+                assert_eq!(allow, vec![Method::Get, Method::Post]);
+                assert_eq!(allow_header(&allow), "GET, POST");
+            }
+            other => panic!("expected MethodNotAllowed, got {other:?}"),
+        }
+        // Unknown path → NotFound, not MethodNotAllowed.
+        assert_eq!(r.resolve(Method::Get, "/nope"), RouteOutcome::NotFound);
+        // Matching method still resolves.
+        match r.resolve(Method::Post, "/app/photo") {
+            RouteOutcome::Found(m) => assert_eq!(m.value, "post"),
+            other => panic!("expected Found, got {other:?}"),
+        }
+        // `find` keeps its historical contract: both miss modes are None.
+        assert!(r.find(Method::Delete, "/app/photo").is_none());
+    }
+
+    #[test]
+    fn allow_set_dedupes_across_patterns() {
+        let mut r = Router::new();
+        // Two GET patterns can both match the same path; Allow must list
+        // GET once.
+        r.add(Method::Get, "/x/:a", 1);
+        r.add(Method::Get, "/x/y", 2);
+        r.add(Method::Put, "/x/:a", 3);
+        match r.resolve(Method::Post, "/x/y") {
+            RouteOutcome::MethodNotAllowed(allow) => {
+                assert_eq!(allow, vec![Method::Get, Method::Put]);
+            }
+            other => panic!("expected MethodNotAllowed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,11 +1,16 @@
-//! Threaded HTTP server with keep-alive and graceful shutdown.
+//! Threaded HTTP front end with keep-alive and graceful shutdown.
 //!
-//! One OS thread per connection, bounded by a connection limit; the
-//! listener thread accepts and dispatches. Shutdown flips an atomic flag
+//! One OS thread per connection parses and writes; the request itself is
+//! executed by a pluggable [`Serve`] engine. [`Server`] runs the staged
+//! [`Pipeline`](crate::pipeline::Pipeline) (bounded worker pools, per-class
+//! queues); [`ReferenceServer`] keeps the seed's semantics — the handler
+//! runs directly on the connection thread — as the baseline arm of
+//! `w5_sim::netdiff`'s differential oracle. Shutdown flips an atomic flag
 //! and unblocks the accept loop by connecting to itself — no busy-wait, no
 //! platform-specific listener tricks.
 
 use crate::http::{buf_reader, HttpError, Limits, Request, Response, Status};
+use crate::pipeline::{fault_line, InlineServe, OpenAdmission, Pipeline, PipelineConfig, Serve};
 use w5_sync::{lockdep, Mutex};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -62,6 +67,7 @@ pub struct ServerHandle {
     accept_thread: Mutex<Option<JoinHandle<()>>>,
     active: Arc<AtomicUsize>,
     served: Arc<AtomicUsize>,
+    engine: Arc<dyn Serve>,
 }
 
 impl ServerHandle {
@@ -80,7 +86,8 @@ impl ServerHandle {
         self.active.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting, wait for the accept loop to exit. In-flight
+    /// Stop accepting, wait for the accept loop to exit, then stop the
+    /// engine (pipeline workers drain their queues first). In-flight
     /// connections finish their current request and close.
     pub fn shutdown(&self) {
         if self.stop.swap(true, Ordering::SeqCst) {
@@ -91,19 +98,41 @@ impl ServerHandle {
         if let Some(h) = self.accept_thread.lock().take() {
             let _ = h.join();
         }
+        self.engine.stop();
+    }
+
+    /// The engine serving requests (shared with the accept loop).
+    pub fn engine(&self) -> Arc<dyn Serve> {
+        Arc::clone(&self.engine)
     }
 }
 
-/// The server factory.
+/// The server factory. [`Server::start`] serves through the staged
+/// pipeline; use [`ReferenceServer::start`] for the seed's
+/// handler-on-the-connection-thread semantics, or
+/// [`Server::start_engine`] to supply a custom engine (e.g. a pipeline
+/// with kernel-backed admission).
 pub struct Server;
 
 impl Server {
-    /// Bind and serve on a background thread. `addr` may use port 0 to let
+    /// Bind and serve on a background thread through a
+    /// [`Pipeline`](crate::pipeline::Pipeline) configured from the
+    /// environment (`W5_NET_WORKERS` etc.). `addr` may use port 0 to let
     /// the OS pick; read the effective address from the returned handle.
     pub fn start(
         addr: &str,
         config: ServerConfig,
         handler: Arc<dyn Handler>,
+    ) -> std::io::Result<ServerHandle> {
+        let engine = Pipeline::start(PipelineConfig::from_env(), handler, Arc::new(OpenAdmission));
+        Server::start_engine(addr, config, engine)
+    }
+
+    /// Bind and serve through an explicit engine.
+    pub fn start_engine(
+        addr: &str,
+        config: ServerConfig,
+        engine: Arc<dyn Serve>,
     ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -114,6 +143,7 @@ impl Server {
         let accept_stop = Arc::clone(&stop);
         let accept_active = Arc::clone(&active);
         let accept_served = Arc::clone(&served);
+        let accept_engine = Arc::clone(&engine);
         let accept_thread = std::thread::Builder::new()
             .name("w5-http-accept".into())
             .spawn(move || {
@@ -130,7 +160,7 @@ impl Server {
                         continue;
                     }
                     let guard = ConnGuard::new(&accept_active);
-                    let handler = Arc::clone(&handler);
+                    let engine = Arc::clone(&accept_engine);
                     let config = config.clone();
                     let served = Arc::clone(&accept_served);
                     let stop = Arc::clone(&accept_stop);
@@ -142,7 +172,7 @@ impl Server {
                         .name("w5-http-conn".into())
                         .spawn(move || {
                             let _guard = guard;
-                            let _ = serve_connection(stream, &config, &*handler, &served, &stop);
+                            let _ = serve_connection(stream, &config, &*engine, &served, &stop);
                         });
                 }
             })?;
@@ -153,7 +183,25 @@ impl Server {
             accept_thread: Mutex::new("net.accept", Some(accept_thread)),
             active,
             served,
+            engine,
         })
+    }
+}
+
+/// The seed server, preserved verbatim behind the [`Serve`] trait: the
+/// handler runs directly on the connection thread, unbounded by any
+/// worker pool. Baseline arm of the netdiff oracle and of the fairness
+/// benchmark (`bench_net_json`).
+pub struct ReferenceServer;
+
+impl ReferenceServer {
+    /// Bind and serve with thread-per-connection handler execution.
+    pub fn start(
+        addr: &str,
+        config: ServerConfig,
+        handler: Arc<dyn Handler>,
+    ) -> std::io::Result<ServerHandle> {
+        Server::start_engine(addr, config, Arc::new(InlineServe::new(handler)))
     }
 }
 
@@ -176,7 +224,15 @@ impl Drop for ConnGuard {
 }
 
 fn overloaded(mut stream: TcpStream) -> std::io::Result<()> {
-    let resp = Response::error(Status::SERVICE_UNAVAILABLE, "server overloaded");
+    // Same shed contract as the pipeline's admission stage: a Retry-After
+    // hint plus a fault-report body in the faultreport.rs log-line format.
+    // The connection carries no labels yet, so the detail is never
+    // redacted.
+    let resp = Response::error(
+        Status::SERVICE_UNAVAILABLE,
+        &fault_line("net/server", "infrastructure", Some("server overloaded: connection limit reached")),
+    )
+    .with_header("retry-after", "1");
     let mut out = Vec::new();
     let _ = resp.write_to(&mut out, false);
     lockdep::blocking("net.socket.write");
@@ -190,7 +246,7 @@ fn overloaded(mut stream: TcpStream) -> std::io::Result<()> {
 fn serve_connection(
     stream: TcpStream,
     config: &ServerConfig,
-    handler: &dyn Handler,
+    engine: &dyn Serve,
     served: &AtomicUsize,
     stop: &AtomicBool,
 ) -> Result<(), HttpError> {
@@ -246,7 +302,7 @@ fn serve_connection(
                 &w5_obs::ObsLabel::empty(),
                 remote.as_ref(),
             );
-            handler.handle(request, peer)
+            engine.serve(request, peer)
         };
         let elapsed = started.elapsed();
         // The HTTP front end sees only the wire: request spans are public
@@ -428,6 +484,10 @@ mod tests {
         rejected.read_to_end(&mut buf).expect("socket must reach EOF after the 503");
         let text = String::from_utf8_lossy(&buf);
         assert!(text.starts_with("HTTP/1.1 503"), "got: {text}");
+        // The shed carries a retry hint and a fault-report body, same
+        // contract as the pipeline's admission stage.
+        assert!(text.to_ascii_lowercase().contains("retry-after: 1"), "got: {text}");
+        assert!(text.contains("fault app=net/server kind=infrastructure"), "got: {text}");
 
         // Release the parked handler; the slot drains and new clients are
         // served again — the counter balanced.
@@ -448,6 +508,83 @@ mod tests {
         drop(tx);
         let resp = HttpClient::new().get(h.addr(), "/again").unwrap();
         assert_eq!(resp.status, Status::OK);
+        h.shutdown();
+    }
+
+    fn panicky_handler() -> Arc<dyn Handler> {
+        Arc::new(|req: Request, _peer: SocketAddr| {
+            if req.path == "/boom" {
+                panic!("handler exploded");
+            }
+            Response::text("fine")
+        })
+    }
+
+    #[test]
+    fn pipelined_server_turns_handler_panic_into_500_and_recovers() {
+        let h = Server::start("127.0.0.1:0", ServerConfig::default(), panicky_handler()).unwrap();
+        let c = HttpClient::new();
+        // The worker catches the panic and the connection gets a real 500.
+        let resp = c.get(h.addr(), "/boom").unwrap();
+        assert_eq!(resp.status, Status::INTERNAL_ERROR);
+        // The connection slot drains (the conn thread never panicked).
+        for _ in 0..2000 {
+            if h.active_connections() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(h.active_connections(), 0, "slot leaked across a handler panic");
+        // The worker pool is intact: the next request is admitted and served.
+        let resp = c.get(h.addr(), "/ok").unwrap();
+        assert_eq!(resp.status, Status::OK);
+        h.shutdown();
+    }
+
+    #[test]
+    fn reference_server_releases_slot_when_handler_panics() {
+        use std::io::Read;
+        let h =
+            ReferenceServer::start("127.0.0.1:0", ServerConfig::default(), panicky_handler())
+                .unwrap();
+        // Seed semantics: the panic unwinds the connection thread, so the
+        // client sees EOF with no response…
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        s.write_all(b"GET /boom HTTP/1.1\r\n\r\n").unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut buf = Vec::new();
+        let _ = s.read_to_end(&mut buf);
+        assert!(buf.is_empty(), "reference engine should not answer a panicked request");
+        // …but the ConnGuard still releases the slot, so the active count
+        // returns to zero and the next request is admitted.
+        for _ in 0..2000 {
+            if h.active_connections() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(h.active_connections(), 0, "panicked connection leaked its slot");
+        let resp = HttpClient::new().get(h.addr(), "/ok").unwrap();
+        assert_eq!(resp.status, Status::OK);
+        h.shutdown();
+    }
+
+    #[test]
+    fn reference_server_matches_seed_semantics_for_normal_traffic() {
+        let h = ReferenceServer::start(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Arc::new(|req: Request, _peer: SocketAddr| {
+                Response::text(format!("{} {}", req.method, req.path))
+            }),
+        )
+        .unwrap();
+        let mut conn = HttpClient::new().connect(h.addr()).unwrap();
+        for i in 0..3 {
+            let resp = conn.request(&Request::get(&format!("/r{i}"))).unwrap();
+            assert_eq!(resp.body_string(), format!("GET /r{i}"));
+        }
+        assert_eq!(h.requests_served(), 3);
         h.shutdown();
     }
 

@@ -177,6 +177,40 @@ pub enum EventKind {
         /// Did any route match?
         matched: bool,
     },
+    /// The request pipeline admitted a request into its principal-class
+    /// queue. Recorded under the principal's secrecy label, so a hidden
+    /// principal's queue activity is clearance-gated in ledger views.
+    QueueAdmit {
+        /// Principal-class key (`"anon"`, `"session:<user>"`, `"app:<key>"`).
+        class: String,
+        /// The worker-pool shard the class hashes to.
+        shard: u64,
+        /// The class queue depth after this admit.
+        depth: u64,
+    },
+    /// Admission control shed a request (class queue full, class table
+    /// full, or an injected `net.queue_full` fault). Sheds are denials:
+    /// always written to the ring, never sampled away.
+    QueueShed {
+        /// Principal-class key.
+        class: String,
+        /// The worker-pool shard the class hashes to.
+        shard: u64,
+        /// The class queue depth that triggered the shed.
+        depth: u64,
+        /// The `Retry-After` seconds sent, computed from `depth` only.
+        retry_after: u64,
+    },
+    /// Worker-pool occupancy sampled at dequeue time (busy workers out of
+    /// the shard's total).
+    WorkerOccupancy {
+        /// The shard sampled.
+        shard: u64,
+        /// Workers executing a request, including the sampling one.
+        busy: u64,
+        /// Workers in the shard.
+        workers: u64,
+    },
     // ---- store ----
     /// A labeled read (file or row) was attempted.
     StoreRead {
@@ -214,7 +248,11 @@ impl EventKind {
             | EventKind::DeclassifierInvoke { .. }
             | EventKind::SanitizerRun { .. }
             | EventKind::AuditFinding { .. } => Layer::Platform,
-            EventKind::HttpRequest { .. } | EventKind::RouteResolve { .. } => Layer::Net,
+            EventKind::HttpRequest { .. }
+            | EventKind::RouteResolve { .. }
+            | EventKind::QueueAdmit { .. }
+            | EventKind::QueueShed { .. }
+            | EventKind::WorkerOccupancy { .. } => Layer::Net,
             EventKind::StoreRead { .. } | EventKind::StoreWrite { .. } => Layer::Store,
         }
     }
@@ -232,6 +270,8 @@ impl EventKind {
             // Error-severity audit findings are config-level flow refusals:
             // always written to the ring, never sampled away.
             EventKind::AuditFinding { severity, .. } => severity == "error",
+            // A shed is the admission stage refusing service.
+            EventKind::QueueShed { .. } => true,
             _ => false,
         }
     }

@@ -373,6 +373,57 @@ impl Ledger {
         h
     }
 
+    /// Like [`Ledger::digest`], but folds only the ring events `keep`
+    /// admits, with sequence numbers re-issued densely over the retained
+    /// stream, and skips the per-layer aggregates (which would count the
+    /// excluded events). Span structure is folded as in `digest`.
+    ///
+    /// This exists for differential oracles whose two arms legitimately
+    /// differ in *executor-dependent metadata* — e.g. the pipelined HTTP
+    /// engine emits `QueueAdmit`/`WorkerOccupancy` gauges the reference
+    /// thread-per-connection engine never does — while the handler-visible
+    /// event stream must still match event for event.
+    pub fn digest_where(&self, keep: impl Fn(&EventKind) -> bool) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        let mut h = FNV_OFFSET;
+        let ring = self.ring.lock();
+        let mut reissued = 0u64;
+        for e in ring.iter() {
+            if !keep(&e.kind) {
+                continue;
+            }
+            // Dense re-issue, exactly like a redacted view: the original
+            // seq would count the excluded events.
+            mix(&mut h, &reissued.to_le_bytes());
+            reissued += 1;
+            for tag in e.secrecy.iter() {
+                mix(&mut h, &tag.to_le_bytes());
+            }
+            let kind = serde_json::to_string(&e.kind).expect("event kinds always serialize");
+            mix(&mut h, kind.as_bytes());
+        }
+        drop(ring);
+        let spans = self.spans.lock();
+        for s in spans.iter() {
+            mix(&mut h, &s.trace.to_le_bytes());
+            mix(&mut h, &s.id.to_le_bytes());
+            mix(&mut h, &s.parent.unwrap_or(0).to_le_bytes());
+            mix(&mut h, s.name.as_bytes());
+            mix(&mut h, s.layer.name().as_bytes());
+            for tag in s.secrecy.iter() {
+                mix(&mut h, &tag.to_le_bytes());
+            }
+        }
+        h
+    }
+
     fn count(&self, kind: &EventKind) -> u64 {
         let c = &self.counters[kind.layer().index()];
         c.events.fetch_add(1, Ordering::Relaxed);

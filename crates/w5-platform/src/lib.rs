@@ -31,6 +31,7 @@
 
 pub mod api;
 pub mod appreg;
+pub mod boundary;
 pub mod crypto;
 pub mod declass;
 pub mod editors;
@@ -45,6 +46,7 @@ pub mod session;
 mod platform;
 
 pub use api::{ApiError, AppRequest, AppResponse, CreateLabels, PlatformApi, W5App};
+pub use boundary::NetAdmission;
 pub use appreg::{AppManifest, AppRegistry, ModuleManifest, RegistryError};
 pub use editors::{EditorRegistry, Endorsement};
 pub use declass::{

@@ -479,7 +479,7 @@ impl Platform {
         }
     }
 
-    fn record_fault(&self, report: FaultReport) {
+    pub(crate) fn record_fault(&self, report: FaultReport) {
         self.stats.faults.fetch_add(1, Ordering::Relaxed);
         let mut faults = self.faults.lock();
         if faults.len() >= 10_000 {

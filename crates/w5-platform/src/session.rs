@@ -11,8 +11,10 @@ use rand::RngCore;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Cookie name used by the gateway.
-pub const SESSION_COOKIE: &str = "w5_session";
+/// Cookie name used by the gateway. Aliases the net-layer constant so the
+/// pipeline's admission stage and the gateway always agree on where the
+/// session token lives.
+pub const SESSION_COOKIE: &str = w5_net::SESSION_COOKIE_NAME;
 
 /// Issues and validates session tokens.
 pub struct SessionStore {

@@ -25,6 +25,7 @@ pub mod concurrency;
 pub mod depgraph;
 pub mod differential;
 pub mod lockgate;
+pub mod netdiff;
 pub mod population;
 pub mod socialgraph;
 pub mod storediff;
@@ -37,6 +38,10 @@ pub use concurrency::{
     run_sharded_serial, ConcOutcome, ConcSpec, ProcState,
 };
 pub use differential::{run_differential, DiffOutcome, DiffSpec};
+pub use netdiff::{
+    assert_net_differential, run_pipeline_storm, run_pipelined_concurrent, run_pipelined_serial,
+    NetOutcome, NetRun, NetSpec, StormReport,
+};
 pub use storediff::{
     assert_store_differential, run_partitioned_concurrent, run_partitioned_serial, StoreOutcome,
     StoreRun, StoreSpec,

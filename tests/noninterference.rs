@@ -434,3 +434,227 @@ mod concurrent_kernel {
         }
     }
 }
+
+mod net_admission {
+    //! Noninterference at the front door: the staged pipeline's
+    //! backpressure surface (shed verdicts, `Retry-After` hints, quota
+    //! refusals) must reveal nothing about *other* principals' traffic.
+    //!
+    //! The sharpest channel a bounded queue could open is the retry
+    //! hint: if `Retry-After` were computed from global queue state, a
+    //! low-clearance client could poll its own sheds to watch a hidden
+    //! user's burst arrive. The pipeline therefore derives it from the
+    //! shedding class's *own* depth and static pool geometry only —
+    //! differenced here across two worlds that disagree solely about a
+    //! hidden class's backlog.
+
+    use std::net::SocketAddr;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+    use w5_kernel::ResourceLimits;
+    use w5_net::{
+        Admission, ChargeDenied, ChargePoint, Handler, Pipeline, PipelineConfig, PrincipalClass,
+        Request, Response,
+    };
+    use w5_platform::{FaultKind, Gateway, NetAdmission, Platform};
+    use w5_sync::Mutex;
+
+    fn peer() -> SocketAddr {
+        "127.0.0.1:4100".parse().unwrap()
+    }
+
+    fn poll_until(mut cond: impl FnMut() -> bool, what: &str) {
+        for _ in 0..2000 {
+            if cond() {
+                return;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    /// The full §3.5 path, socket framing aside: pipeline admission →
+    /// kernel resource container → 429 with a labeled fault-report body,
+    /// with the same report retained for developers in the platform's
+    /// fault log — and the store untouched by the refused request.
+    #[test]
+    fn network_quota_refusal_is_a_429_fault_report_end_to_end() {
+        let platform = Platform::new_default("ni-net");
+        let limits = ResourceLimits { network_bytes: 700, ..ResourceLimits::unlimited() };
+        let admission = NetAdmission::new(Arc::clone(&platform), limits, 0);
+        let gateway: Arc<dyn Handler> = Arc::new(Gateway::new(Arc::clone(&platform)));
+        let pipeline = Pipeline::start(
+            PipelineConfig { workers: 2, shards: 1, ..PipelineConfig::default() },
+            gateway,
+            admission,
+        );
+
+        // /registry is 74 request-charge bytes per hit (path + flat
+        // per-request overhead), plus the response body; the 700-byte
+        // container admits the first request and starves soon after.
+        let mut saw_ok = false;
+        let mut denial = None;
+        for _ in 0..32 {
+            let resp = pipeline.submit(Request::get("/registry"), peer());
+            match resp.status.0 {
+                200 => saw_ok = true,
+                429 => {
+                    denial = Some(resp);
+                    break;
+                }
+                other => panic!("unexpected status {other} before quota exhaustion"),
+            }
+        }
+        let denial = denial.expect("container must eventually refuse");
+        assert!(saw_ok, "the first request must fit the budget");
+        let retry: u64 = denial.header("retry-after").expect("429 carries Retry-After").parse().unwrap();
+        assert!(retry >= 1);
+        let body = String::from_utf8_lossy(&denial.body);
+        assert!(
+            body.contains("fault app=net/anon kind=quota-exceeded"),
+            "429 body must be the labeled fault report, got: {body}"
+        );
+        let faults = platform.fault_reports();
+        assert!(
+            faults.iter().any(|f| f.app == "net/anon" && f.kind == FaultKind::QuotaExceeded),
+            "the same report must be retained for the developer log"
+        );
+        assert_eq!(pipeline.stats.snapshot().quota_denied, 1);
+        pipeline.stop();
+    }
+
+    /// Classifies by the first path segment and never charges — the
+    /// harness needs exact control over which queue each request joins.
+    struct ByFirstSegment;
+
+    impl Admission for ByFirstSegment {
+        fn classify(&self, request: &Request, _peer: SocketAddr) -> PrincipalClass {
+            let seg = request.path.split('/').find(|s| !s.is_empty()).unwrap_or("");
+            PrincipalClass::App(seg.to_string())
+        }
+
+        fn charge(
+            &self,
+            _class: &PrincipalClass,
+            _point: ChargePoint,
+            _bytes: u64,
+        ) -> Result<(), ChargeDenied> {
+            Ok(())
+        }
+    }
+
+    /// Requests to `/gate/…` park on a rendezvous until released; all
+    /// other requests answer immediately.
+    struct GatedHandler {
+        gate: Mutex<Option<Receiver<()>>>,
+        held: AtomicUsize,
+    }
+
+    impl GatedHandler {
+        fn new() -> (Arc<GatedHandler>, SyncSender<()>) {
+            let (tx, rx) = sync_channel::<()>(64);
+            let h = Arc::new(GatedHandler {
+                gate: Mutex::new("test.ni.gate", Some(rx)),
+                held: AtomicUsize::new(0),
+            });
+            (h, tx)
+        }
+    }
+
+    impl Handler for GatedHandler {
+        fn handle(&self, request: Request, _peer: SocketAddr) -> Response {
+            if request.path.starts_with("/gate/") {
+                self.held.fetch_add(1, Ordering::SeqCst);
+                // Hold the worker until the test releases one token.
+                let rx = self.gate.lock().take().expect("one gated request at a time");
+                rx.recv().ok();
+                *self.gate.lock() = Some(rx);
+                self.held.fetch_sub(1, Ordering::SeqCst);
+            }
+            Response::text("ok")
+        }
+    }
+
+    /// One world: a single parked worker, `hidden_backlog` queued
+    /// requests for a hidden class, then the honest class filled to its
+    /// own limit and pushed one past it. Returns the honest overflow's
+    /// (status, Retry-After) — the complete backpressure observable.
+    fn honest_shed_observable(hidden_backlog: usize) -> (u16, u64) {
+        const DEPTH: usize = 2;
+        let (handler, release) = GatedHandler::new();
+        let pipeline = Pipeline::start(
+            PipelineConfig {
+                workers: 1,
+                shards: 1,
+                queue_depth: DEPTH,
+                retry_after_floor: 1,
+                ..PipelineConfig::default()
+            },
+            Arc::clone(&handler) as Arc<dyn Handler>,
+            Arc::new(ByFirstSegment),
+        );
+
+        let observable = thread::scope(|s| {
+            // Park the only worker on the gate.
+            let p = Arc::clone(&pipeline);
+            s.spawn(move || p.submit(Request::get("/gate/park"), peer()));
+            poll_until(|| handler.held.load(Ordering::SeqCst) == 1, "worker parked");
+
+            // The hidden principal's backlog (absent in the other world).
+            for i in 0..hidden_backlog {
+                let p = Arc::clone(&pipeline);
+                s.spawn(move || p.submit(Request::get("/hidden/burst"), peer()));
+                poll_until(|| pipeline.queue_depth() == i + 1, "hidden backlog queued");
+            }
+
+            // The honest class fills its own queue…
+            for i in 0..DEPTH {
+                let p = Arc::clone(&pipeline);
+                s.spawn(move || p.submit(Request::get("/honest/work"), peer()));
+                poll_until(
+                    || pipeline.queue_depth() == hidden_backlog + i + 1,
+                    "honest request queued",
+                );
+            }
+
+            // …and the overflow request sheds. This response is the only
+            // thing the honest client sees.
+            let resp = pipeline.submit(Request::get("/honest/work"), peer());
+            let retry: u64 = resp
+                .header("retry-after")
+                .expect("shed must carry Retry-After")
+                .parse()
+                .unwrap();
+            let observable = (resp.status.0, retry);
+
+            // Drain: release every parked/queued request and join.
+            for _ in 0..(1 + hidden_backlog + DEPTH) {
+                release.send(()).ok();
+            }
+            observable
+        });
+        pipeline.stop();
+        observable
+    }
+
+    /// Difference the two worlds: the honest client's shed verdict and
+    /// retry hint must be bit-identical whether the hidden class has an
+    /// empty queue or a full one. (`/gate`, `/hidden` and `/honest` are
+    /// distinct classes under `ByFirstSegment`, so the hidden backlog
+    /// shares the worker pool — the contended resource — but not the
+    /// honest queue.)
+    #[test]
+    fn hidden_backlog_never_shows_in_honest_retry_hints() {
+        let quiet = honest_shed_observable(0);
+        let flooded = honest_shed_observable(2);
+        assert_eq!(quiet.0, 503, "overflow must shed");
+        assert_eq!(
+            quiet, flooded,
+            "honest shed observable differs with hidden backlog: \
+             Retry-After leaks another principal's queue depth"
+        );
+    }
+}
